@@ -1,0 +1,16 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one paper table/figure at reduced scale
+(pytest-benchmark measures the harness; the printed reports go to stdout
+with ``-s``). ``pedantic(rounds=1)`` is used throughout: these are
+experiment reproductions, not microbenchmarks — one round gives the
+shape, and wall-clock per figure stays in seconds.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Scenario: a web-search leaf node (xapian) rides out a traffic spike.
+
+This is the paper's motivating datacenter scenario (Secs. 1 and 5.4): a
+leaf node serving at 25% load sees traffic double, then triple. A static
+setting tuned for the quiet period violates the tail during the spike;
+Rubik re-evaluates its analytical model on every arrival/completion and
+absorbs the spike within milliseconds — no retuning, no app hints.
+
+Run:  python examples/load_spike_websearch.py
+"""
+
+import numpy as np
+
+from repro import Rubik, SchemeContext, StaticOracle, Trace, run_trace
+from repro.analysis.windows import windowed_series
+from repro.config import NOMINAL_FREQUENCY_HZ
+from repro.schemes.replay import replay
+from repro.sim.arrivals import LoadSchedule
+from repro.workloads.apps import XAPIAN
+
+
+def sparkline(values, lo, hi, width=60):
+    """Coarse text plot of a series."""
+    ticks = " .:-=+*#%@"
+    span = max(hi - lo, 1e-12)
+    idx = np.clip(((np.asarray(values) - lo) / span * (len(ticks) - 1))
+                  .astype(int), 0, len(ticks) - 1)
+    return "".join(ticks[i] for i in idx[:width])
+
+
+def main() -> None:
+    app = XAPIAN
+    seed = 7
+    n = 6000
+
+    bound = replay(Trace.generate_at_load(app, 0.5, n, seed),
+                   NOMINAL_FREQUENCY_HZ).tail_latency()
+    context = SchemeContext(latency_bound_s=bound, app=app)
+
+    # Quiet 25% load for 3 s, spike to 50% for 3 s, then 75% for 3 s.
+    schedule = LoadSchedule.from_loads(
+        [(0.0, 0.25), (3.0, 0.5), (6.0, 0.75)], app.saturation_qps)
+    trace = Trace.generate(app, schedule, n, seed)
+
+    static = StaticOracle()
+    static.tune(Trace.generate_at_load(app, 0.25, n, seed), context)
+    static_run = run_trace(trace, static, context)
+    rubik_run = run_trace(trace, Rubik(), context)
+
+    print(f"web-search leaf ({app.name}), bound={bound * 1e3:.2f} ms, "
+          f"StaticOracle tuned at 25% load -> {static.tuned_hz / 1e9:.1f} GHz")
+    for name, run in (("StaticOracle", static_run), ("Rubik", rubik_run)):
+        finish = np.array([r.finish_time for r in run.requests])
+        lats = np.array([r.response_time for r in run.requests])
+        t, tail = windowed_series(finish, lats, window_s=0.25)
+        norm = tail / bound
+        print(f"\n{name}: rolling p95 / bound over time "
+              f"(rows at 0.25 s steps; '@'=2x bound)")
+        print("  " + sparkline(norm, 0.0, 2.0))
+        worst = norm.max()
+        print(f"  worst window: {worst:.2f}x bound; "
+              f"requests over bound: {run.violation_rate(bound):.1%}")
+
+    p_static = static_run.mean_core_power_w
+    p_rubik = rubik_run.mean_core_power_w
+    print(f"\nmean core power: StaticOracle {p_static:.2f} W, "
+          f"Rubik {p_rubik:.2f} W — Rubik spends the extra watts during "
+          "the spike, which is exactly what keeps the tail from "
+          "exploding; the quiet phase still runs at the bottom of the "
+          "DVFS grid.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: run Rubik on a key-value-store workload and compare it
+against the fixed-frequency baseline and StaticOracle.
+
+Shows the core loop of the library: generate a request trace, define the
+tail-latency bound the paper's way (fixed-frequency tail at 50% load),
+run schemes, and read out tail latency / power / energy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    FixedFrequency,
+    NOMINAL_FREQUENCY_HZ,
+    Rubik,
+    SchemeContext,
+    StaticOracle,
+    Trace,
+    run_trace,
+)
+from repro.schemes.replay import replay
+from repro.workloads.apps import MASSTREE
+
+
+def main() -> None:
+    app = MASSTREE
+    seed = 1
+    load = 0.4
+
+    # 1. The latency bound: the 95th-percentile latency the server
+    #    achieves at nominal frequency under 50% load (paper Sec. 5.2).
+    bound_trace = Trace.generate_at_load(app, load=0.5, seed=seed)
+    bound_s = replay(bound_trace, NOMINAL_FREQUENCY_HZ).tail_latency()
+    context = SchemeContext(latency_bound_s=bound_s, app=app)
+    print(f"app={app.name}  load={load:.0%}  "
+          f"tail bound={bound_s * 1e3:.3f} ms")
+
+    # 2. One trace, three schemes. All schemes see identical requests.
+    trace = Trace.generate_at_load(app, load=load, seed=seed)
+
+    fixed = run_trace(trace, FixedFrequency(), context)
+    static = StaticOracle()
+    static.tune(trace, context)
+    static_run = run_trace(trace, static, context)
+    rubik = run_trace(trace, Rubik(), context)
+
+    # 3. Results.
+    print(f"\n{'scheme':<16} {'tail (ms)':>10} {'power (W)':>10} "
+          f"{'mJ/req':>8} {'viol%':>6}")
+    for name, run in (("Fixed@2.4GHz", fixed),
+                      (f"Static@{static.tuned_hz / 1e9:.1f}GHz", static_run),
+                      ("Rubik", rubik)):
+        print(f"{name:<16} {run.tail_latency() * 1e3:>10.3f} "
+              f"{run.mean_core_power_w:>10.2f} "
+              f"{run.energy_per_request_j * 1e3:>8.3f} "
+              f"{run.violation_rate(bound_s) * 100:>6.1f}")
+
+    savings = 1 - rubik.mean_core_power_w / fixed.mean_core_power_w
+    print(f"\nRubik saves {savings:.0%} core power vs fixed-frequency "
+          f"while holding the tail bound.")
+    print("Rubik busy-time frequency residency:")
+    for f, frac in rubik.busy_freq_hist.items():
+        if frac >= 0.01:
+            print(f"  {f / 1e9:.1f} GHz: {'#' * int(frac * 50)} {frac:.0%}")
+
+
+if __name__ == "__main__":
+    main()

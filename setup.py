@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+Enables `pip install -e . --no-build-isolation` (legacy editable install)
+on machines where PEP 517 editable builds are unavailable offline.
+"""
+from setuptools import setup
+
+setup()

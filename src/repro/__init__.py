@@ -1,0 +1,71 @@
+"""repro — a reproduction of *Rubik: Fast Analytical Power Management for
+Latency-Critical Systems* (Kasture, Bartolini, Beckmann, Sanchez,
+MICRO-48, 2015).
+
+Public API tour:
+
+* :class:`repro.Rubik` — the analytical fine-grain DVFS controller.
+* :mod:`repro.sim` — the discrete-event server simulator it runs in.
+* :mod:`repro.workloads` — the five latency-critical app models.
+* :mod:`repro.schemes` — baselines: fixed-frequency, StaticOracle,
+  AdrenalineOracle, DynamicOracle.
+* :mod:`repro.coloc` — RubikColoc: batch/LC colocation and the
+  datacenter model.
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro import Rubik, SchemeContext, Trace, run_trace
+    from repro.workloads.apps import MASSTREE
+    from repro.experiments.common import make_context
+
+    context = make_context(MASSTREE, seed=1)
+    trace = Trace.generate_at_load(MASSTREE, load=0.4, seed=1)
+    result = run_trace(trace, Rubik(), context)
+    print(result.tail_latency(), result.energy_per_request_j)
+"""
+
+from repro.config import (
+    CmpConfig,
+    DvfsConfig,
+    DEFAULT_CMP,
+    DEFAULT_DVFS,
+    NOMINAL_FREQUENCY_HZ,
+    TAIL_PERCENTILE,
+    frequency_grid,
+)
+from repro.core.controller import Rubik
+from repro.core.histogram import Histogram
+from repro.core.tail_tables import TailTable, TargetTailTables
+from repro.schemes.base import Scheme, SchemeContext
+from repro.schemes.fixed import FixedFrequency
+from repro.schemes.static_oracle import StaticOracle
+from repro.schemes.adrenaline import AdrenalineOracle
+from repro.sim.server import RunResult, run_trace
+from repro.sim.trace import Trace
+from repro.workloads.base import AppProfile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdrenalineOracle",
+    "AppProfile",
+    "CmpConfig",
+    "DEFAULT_CMP",
+    "DEFAULT_DVFS",
+    "DvfsConfig",
+    "FixedFrequency",
+    "Histogram",
+    "NOMINAL_FREQUENCY_HZ",
+    "Rubik",
+    "RunResult",
+    "Scheme",
+    "SchemeContext",
+    "StaticOracle",
+    "TAIL_PERCENTILE",
+    "TailTable",
+    "TargetTailTables",
+    "Trace",
+    "frequency_grid",
+    "run_trace",
+]

@@ -1,0 +1,10 @@
+"""Statistics, rolling-window estimators, and text-table rendering."""
+
+from repro.analysis.stats import pearson, percentile, tail_latency
+from repro.analysis.tables import render_series, render_table
+from repro.analysis.windows import RollingTailEstimator, windowed_series
+
+__all__ = [
+    "RollingTailEstimator", "pearson", "percentile", "render_series",
+    "render_table", "tail_latency", "windowed_series",
+]

@@ -1,0 +1,106 @@
+"""Statistics helpers used throughout the reproduction.
+
+Small, dependency-light wrappers: tail percentiles, Pearson correlation,
+bootstrap confidence intervals. Centralizing them keeps the definition of
+"tail latency" (95th percentile, paper Sec. 5.1) consistent everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import TAIL_PERCENTILE
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """Linear-interpolated percentile of ``samples``.
+
+    Args:
+        samples: non-empty sequence of values.
+        pct: percentile in [0, 100].
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile {pct} outside [0, 100]")
+    return float(np.percentile(arr, pct))
+
+
+def tail_latency(latencies: Sequence[float], pct: float = TAIL_PERCENTILE) -> float:
+    """Tail latency: the ``pct``-th percentile (default 95th, as in the paper)."""
+    return percentile(latencies, pct)
+
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient between two equal-length sequences.
+
+    Returns 0.0 when either input is (numerically) constant, which is the
+    convention most useful for Table 1 (a constant service time carries no
+    information about response latency).
+    """
+    ax = np.asarray(x, dtype=float)
+    ay = np.asarray(y, dtype=float)
+    if ax.shape != ay.shape:
+        raise ValueError("pearson inputs must have equal length")
+    if ax.size < 2:
+        raise ValueError("pearson requires at least two samples")
+    sx = ax.std()
+    sy = ay.std()
+    if sx < 1e-15 or sy < 1e-15:
+        return 0.0
+    cov = float(((ax - ax.mean()) * (ay - ay.mean())).mean())
+    return cov / float(sx * sy)
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    statistic=np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 1000,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for ``statistic``.
+
+    Used to check the paper's "95% confidence intervals below 1%" claim on
+    our own runs (EXPERIMENTS.md).
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("bootstrap of empty sample set")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = rng or np.random.default_rng(0)
+    stats = np.empty(n_resamples)
+    for k in range(n_resamples):
+        resample = arr[rng.integers(0, arr.size, size=arr.size)]
+        stats[k] = statistic(resample)
+    lo = (1.0 - confidence) / 2.0 * 100.0
+    hi = 100.0 - lo
+    return float(np.percentile(stats, lo)), float(np.percentile(stats, hi))
+
+
+def coefficient_of_variation(samples: Sequence[float]) -> float:
+    """CV = std/mean; the workload-shape knob used in DESIGN.md Sec. 5."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("CV of empty sample set")
+    mean = float(arr.mean())
+    if abs(mean) < 1e-18:
+        raise ValueError("CV undefined for zero-mean samples")
+    return float(arr.std()) / mean
+
+
+def empirical_cdf(samples: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return (sorted values, cumulative percent) for CDF plots/tables.
+
+    The second array is the percentage of samples <= the corresponding
+    value, matching the "Cumulative Percent" axes of Figs. 2a, 7a and 8a.
+    """
+    arr = np.sort(np.asarray(samples, dtype=float))
+    if arr.size == 0:
+        raise ValueError("CDF of empty sample set")
+    pct = np.arange(1, arr.size + 1) / arr.size * 100.0
+    return arr, pct

@@ -1,0 +1,68 @@
+"""Plain-text table rendering for experiment output.
+
+Experiments print their results as aligned text tables so the paper's
+tables/figures can be compared by eye in a terminal and archived verbatim
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, float, int]
+
+
+def _format_cell(cell: Cell, float_fmt: str) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return format(cell, float_fmt)
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    float_fmt: str = ".3f",
+    title: str = "",
+) -> str:
+    """Render a monospace table with a header rule.
+
+    Args:
+        headers: column names.
+        rows: row cell values; floats are formatted with ``float_fmt``.
+        float_fmt: format spec applied to float cells.
+        title: optional title line above the table.
+    """
+    str_rows: List[List[str]] = [
+        [_format_cell(c, float_fmt) for c in row] for row in rows
+    ]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, xs: Sequence[float], ys: Sequence[float], float_fmt: str = ".4g"
+) -> str:
+    """Render an (x, y) series on one line, for figure-style output."""
+    pairs = ", ".join(
+        f"({format(float(x), float_fmt)}, {format(float(y), float_fmt)})"
+        for x, y in zip(xs, ys)
+    )
+    return f"{name}: {pairs}"

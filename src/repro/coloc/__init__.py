@@ -1,0 +1,11 @@
+"""RubikColoc: batch/LC colocation (paper Secs. 6-7) — batch app models,
+core-microarch interference, colocation schemes, datacenter math."""
+
+from repro.coloc.batch import BatchAppProfile, BatchTask, generate_mixes
+from repro.coloc.interference import MicroarchInterference
+from repro.coloc.server import COLOC_SCHEME_NAMES, run_colocated_server
+
+__all__ = [
+    "BatchAppProfile", "BatchTask", "COLOC_SCHEME_NAMES",
+    "MicroarchInterference", "generate_mixes", "run_colocated_server",
+]

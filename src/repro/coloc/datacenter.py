@@ -1,0 +1,192 @@
+"""Datacenter-scale aggregation (paper Sec. 7.2, Figs. 14 and 16).
+
+Two datacenters run matching work (fixed-work methodology):
+
+* **Segregated** (baseline): 1000 LC servers (200 per LC app, 6 copies
+  each, StaticOracle frequencies) plus 1000 batch servers (50 per mix,
+  every batch app at its best throughput-per-watt frequency).
+* **Colocated**: the 1000 LC servers also absorb the corresponding batch
+  mixes under RubikColoc; because colocated batch apps get less
+  throughput, extra batch-only servers are provisioned to match the
+  segregated datacenter's per-app batch throughput.
+
+Per-server numbers come from the simulators in
+:mod:`repro.coloc.server` and :mod:`repro.sim.server`; this module only
+aggregates them into total power and server counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import DEFAULT_CMP, CmpConfig
+from repro.coloc.batch import BatchAppProfile, BatchTask, generate_mixes
+from repro.coloc.server import ColocResult, run_colocated_server
+from repro.power.model import (
+    DEFAULT_CORE_POWER,
+    DEFAULT_SYSTEM_POWER,
+    CorePowerModel,
+    SystemPowerModel,
+)
+from repro.schemes.base import SchemeContext
+from repro.schemes.replay import replay
+from repro.schemes.static_oracle import find_static_frequency
+from repro.sim.trace import Trace
+from repro.workloads.apps import APPS, app_names
+from repro.workloads.base import AppProfile
+
+#: Fleet shape of the paper's experiment (Fig. 14).
+LC_SERVERS = 1000
+BATCH_SERVERS = 1000
+SERVERS_PER_APP = 200
+SERVERS_PER_MIX = 50
+
+
+@dataclasses.dataclass
+class DatacenterPoint:
+    """Power and server count of one datacenter at one LC load."""
+
+    lc_load: float
+    lc_server_power_w: float     # mean power of one LC/colocated server
+    batch_server_power_w: float  # mean power of one batch-only server
+    num_lc_servers: int
+    num_batch_servers: float
+
+    @property
+    def total_power_w(self) -> float:
+        return (self.num_lc_servers * self.lc_server_power_w
+                + self.num_batch_servers * self.batch_server_power_w)
+
+    @property
+    def total_servers(self) -> float:
+        return self.num_lc_servers + self.num_batch_servers
+
+
+def batch_server_power(
+    mix: Sequence[BatchAppProfile],
+    system: SystemPowerModel = DEFAULT_SYSTEM_POWER,
+    core_power: CorePowerModel = DEFAULT_CORE_POWER,
+) -> float:
+    """Power of a dedicated batch server running ``mix`` at best TPW."""
+    per_core = []
+    for profile in mix:
+        f = profile.best_tpw_frequency(DEFAULT_CMP.dvfs, core_power)
+        per_core.append(core_power.busy_power(f, profile.mem_stall_frac(f)))
+    mean_core = float(np.mean(per_core))
+    return system.server_power(mean_core, utilization=1.0)
+
+
+def batch_server_throughput(
+    mix: Sequence[BatchAppProfile],
+    core_power: CorePowerModel = DEFAULT_CORE_POWER,
+) -> Dict[str, float]:
+    """Per-app instructions/second on a dedicated batch server (1 core/app)."""
+    out: Dict[str, float] = {}
+    for profile in mix:
+        f = profile.best_tpw_frequency(DEFAULT_CMP.dvfs, core_power)
+        out[profile.name] = out.get(profile.name, 0.0) + profile.throughput(f)
+    return out
+
+
+def segregated_lc_server_power(
+    app: AppProfile,
+    load: float,
+    seed: int = 21,
+    num_requests: Optional[int] = None,
+    system: SystemPowerModel = DEFAULT_SYSTEM_POWER,
+) -> float:
+    """Power of a segregated LC server (6 copies, StaticOracle DVFS)."""
+    from repro.experiments.common import latency_bound  # cycle-free import
+
+    bound = latency_bound(app, seed, num_requests)
+    context = SchemeContext(latency_bound_s=bound, app=app)
+    trace = Trace.generate_at_load(app, load, num_requests, seed)
+    f = find_static_frequency(trace, bound, context)
+    result = replay(trace, f)
+    per_core = result.mean_core_power_w
+    return system.server_power(per_core, utilization=min(1.0, load))
+
+
+@dataclasses.dataclass
+class DatacenterComparison:
+    """Segregated vs RubikColoc datacenters at one LC load."""
+
+    segregated: DatacenterPoint
+    colocated: DatacenterPoint
+
+    @property
+    def power_reduction(self) -> float:
+        return 1.0 - self.colocated.total_power_w / self.segregated.total_power_w
+
+    @property
+    def server_reduction(self) -> float:
+        return 1.0 - self.colocated.total_servers / self.segregated.total_servers
+
+
+def compare_datacenters(
+    lc_load: float,
+    seed: int = 21,
+    num_mixes: int = 4,
+    requests_per_core: int = 1200,
+    system: SystemPowerModel = DEFAULT_SYSTEM_POWER,
+    core_power: CorePowerModel = DEFAULT_CORE_POWER,
+) -> DatacenterComparison:
+    """Evaluate both datacenters at one LC load (one Fig. 16 x-point).
+
+    ``num_mixes`` sub-samples the paper's 20 mixes to bound simulation
+    time; each sampled mix is paired with every LC app, as in the paper's
+    interleaving.
+    """
+    from repro.experiments.common import latency_bound  # cycle-free import
+
+    mixes = generate_mixes(num_mixes=num_mixes, seed=0)
+    apps = [APPS[name] for name in app_names()]
+
+    seg_lc_powers: List[float] = []
+    coloc_powers: List[float] = []
+    deficits: List[float] = []  # fraction of a batch server still needed
+    batch_powers: List[float] = []
+
+    for mix in mixes:
+        batch_powers.append(batch_server_power(mix, system, core_power))
+        seg_tput = batch_server_throughput(mix, core_power)
+        for app in apps:
+            seg_lc_powers.append(
+                segregated_lc_server_power(
+                    app, lc_load, seed, num_requests=requests_per_core * 2,
+                    system=system))
+            bound = latency_bound(app, seed, requests_per_core * 2)
+            context = SchemeContext(latency_bound_s=bound, app=app)
+            coloc = run_colocated_server(
+                app, lc_load, mix, "RubikColoc", context, seed=seed,
+                requests_per_core=requests_per_core,
+                power_model=core_power)
+            util = min(1.0, coloc.core_utilization)
+            coloc_powers.append(system.server_power(
+                coloc.mean_core_power_w / coloc.num_cores, util))
+            # Batch throughput shortfall vs a dedicated server, averaged
+            # over the mix's apps.
+            ratios = []
+            for name, seg_ips in seg_tput.items():
+                ratios.append(coloc.batch_throughput(name) / seg_ips)
+            deficits.append(max(0.0, 1.0 - float(np.mean(ratios))))
+
+    mean_batch_power = float(np.mean(batch_powers))
+    segregated = DatacenterPoint(
+        lc_load=lc_load,
+        lc_server_power_w=float(np.mean(seg_lc_powers)),
+        batch_server_power_w=mean_batch_power,
+        num_lc_servers=LC_SERVERS,
+        num_batch_servers=BATCH_SERVERS,
+    )
+    colocated = DatacenterPoint(
+        lc_load=lc_load,
+        lc_server_power_w=float(np.mean(coloc_powers)),
+        batch_server_power_w=mean_batch_power,
+        num_lc_servers=LC_SERVERS,
+        num_batch_servers=BATCH_SERVERS * float(np.mean(deficits)),
+    )
+    return DatacenterComparison(segregated=segregated, colocated=colocated)

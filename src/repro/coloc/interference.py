@@ -1,0 +1,70 @@
+"""Core-microarchitectural interference model for colocation (Sec. 6).
+
+With the LLC and memory bandwidth partitioned, the remaining interference
+from time-sharing a core is the *small* microarchitectural state the batch
+app evicts: private caches (L1s, L2), branch predictor, TLBs. The paper's
+insight is that this state has low inertia — "private caches can be
+refilled from a warm LLC in microseconds" — so DVFS can compensate.
+
+The model: the first LC request served after the core ran batch work for
+``interval`` seconds is charged extra compute cycles
+
+    penalty = max_cycles * (1 - exp(-interval / tau))
+
+a saturating warm-up curve — a short batch burst evicts part of the state,
+a long one evicts essentially all of it (saturation), and refilling costs
+a bounded number of cycles because the LLC partition stayed warm.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import NOMINAL_FREQUENCY_HZ
+from repro.sim.request import Request
+
+#: Full refill penalty: ~15 us at nominal frequency (private caches, BP,
+#: TLBs refilled from a warm LLC in microseconds, per the paper).
+DEFAULT_MAX_PENALTY_CYCLES = 15e-6 * NOMINAL_FREQUENCY_HZ
+
+#: Batch-interval scale over which state is evicted.
+DEFAULT_TAU_S = 150e-6
+
+#: A request's evictable microarchitectural footprint scales with the
+#: work it performs (short requests touch few cache lines): the penalty
+#: is additionally capped at this fraction of the app's mean demand.
+FOOTPRINT_FRACTION = 0.06
+
+
+def footprint_penalty_cycles(mean_compute_cycles: float) -> float:
+    """Full-refill penalty for an app with the given mean request size."""
+    if mean_compute_cycles <= 0:
+        raise ValueError("mean_compute_cycles must be positive")
+    return min(DEFAULT_MAX_PENALTY_CYCLES,
+               FOOTPRINT_FRACTION * mean_compute_cycles)
+
+
+class MicroarchInterference:
+    """Callable charging cold-state cycles to post-batch LC requests."""
+
+    def __init__(
+        self,
+        max_penalty_cycles: float = DEFAULT_MAX_PENALTY_CYCLES,
+        tau_s: float = DEFAULT_TAU_S,
+    ) -> None:
+        if max_penalty_cycles < 0 or tau_s <= 0:
+            raise ValueError("penalty must be >= 0 and tau positive")
+        self.max_penalty_cycles = max_penalty_cycles
+        self.tau_s = tau_s
+        self.total_penalty_cycles = 0.0
+        self.penalized_requests = 0
+
+    def __call__(self, batch_interval_s: float, request: Request) -> float:
+        """Extra compute cycles for ``request`` after a batch interval."""
+        if batch_interval_s <= 0:
+            return 0.0
+        penalty = self.max_penalty_cycles * (
+            1.0 - math.exp(-batch_interval_s / self.tau_s))
+        self.total_penalty_cycles += penalty
+        self.penalized_requests += 1
+        return penalty

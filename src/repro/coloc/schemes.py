@@ -1,0 +1,268 @@
+"""Colocation frequency-management schemes (paper Sec. 7).
+
+Four schemes manage a server whose cores each time-share one LC app copy
+with one batch app (memory system partitioned):
+
+* **RubikColoc** — Rubik drives LC frequency; batch runs at its best
+  throughput-per-watt frequency when the LC queue is empty.
+* **StaticColoc** — LC at the StaticOracle frequency (tuned without
+  interference, which is why it under-provisions); batch at best TPW.
+* **HW-T** — every 100 us, a chip-level controller assigns per-core
+  frequencies maximizing aggregate instruction throughput under the
+  package power budget (TDP minus the fixed uncore/DRAM floor),
+  oblivious to LC deadlines (Turbo-Boost-style).
+* **HW-TPW** — same cadence, maximizing aggregate throughput per *package*
+  watt (fixed platform power amortizes into the ratio, as hardware
+  energy-efficiency governors see package power, not core power).
+
+HW-T/HW-TPW allocate watts by marginal utility, so compute-bound batch
+cores win the budget and LC cores are starved exactly when they queue —
+the mechanism behind the tail blowups in Fig. 15. Server LC apps also
+retire fewer instructions per cycle than SPEC compute apps
+(``LC_IPC_FACTOR``), so they systematically lose the watts race.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.config import CmpConfig
+from repro.core.controller import Rubik
+from repro.power.model import CorePowerModel, CoreState
+from repro.schemes.base import Scheme, SchemeContext
+from repro.sim.core import Core
+from repro.sim.engine import Simulator
+from repro.sim.request import Request
+
+#: HW schemes re-evaluate every 100 us (paper Sec. 7).
+HW_SCHEME_PERIOD_S = 100e-6
+
+#: Fixed package power (uncore + DRAM idle floor) the HW governors see.
+PACKAGE_FIXED_POWER_W = 13.0
+
+#: Server LC apps retire fewer instructions per cycle than SPEC compute
+#: apps (branchy, pointer-chasing code), so oblivious throughput-greedy
+#: allocators systematically deprioritize them.
+LC_IPC_FACTOR = 0.6
+
+
+class RubikColocScheme(Rubik):
+    """Rubik, unchanged, on a core with a background batch task.
+
+    The core model itself hands the core to the batch app (at the batch
+    app's preferred frequency) whenever the LC queue drains; Rubik only
+    ever constrains frequency while LC requests are in the system.
+    """
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return "RubikColoc"
+
+
+class StaticColocScheme(Scheme):
+    """StaticOracle frequency for LC work; batch at best TPW when idle."""
+
+    name = "StaticColoc"
+
+    def __init__(self, lc_freq_hz: float) -> None:
+        if lc_freq_hz <= 0:
+            raise ValueError("frequency must be positive")
+        self.lc_freq_hz = lc_freq_hz
+
+    def initial_frequency(self) -> float:
+        return self.lc_freq_hz
+
+    def on_arrival(self, core: Core, request: Request) -> None:
+        core.request_frequency(self.lc_freq_hz)
+
+    def on_completion(self, core: Core, request: Request) -> None:
+        if core.queue_length > 0:
+            core.request_frequency(self.lc_freq_hz)
+        # else: the core hands over to batch at its preferred frequency.
+
+
+class ChipLevelAllocator:
+    """Shared chip controller for the HW-T / HW-TPW schemes.
+
+    Every ``period_s`` it observes what each core is running (an LC
+    request or its batch app), models each occupant's instruction
+    throughput versus frequency, and assigns per-core frequencies:
+
+    * objective ``"throughput"`` (HW-T): greedy marginal-IPS-per-watt
+      ascent until the TDP is exhausted;
+    * objective ``"tpw"`` (HW-TPW): each core at the frequency maximizing
+      its own occupant's throughput per watt (maximizing the aggregate
+      ratio decomposes per-core when cores are independent).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cores: Sequence[Core],
+        cmp_config: CmpConfig,
+        power: CorePowerModel,
+        objective: str = "throughput",
+        lc_ips_model: Optional[Callable[[Core, float], float]] = None,
+        period_s: float = HW_SCHEME_PERIOD_S,
+        horizon_s: Optional[float] = None,
+    ) -> None:
+        if objective not in ("throughput", "tpw"):
+            raise ValueError("objective must be 'throughput' or 'tpw'")
+        self.sim = sim
+        self.cores = list(cores)
+        self.cmp = cmp_config
+        self.power = power
+        self.objective = objective
+        self.lc_ips_model = lc_ips_model or _default_lc_ips_model
+        self.period_s = period_s
+        self.horizon_s = horizon_s
+        # The assignment depends only on each core's occupant *type*
+        # (which batch app, or the LC app), so allocations are memoized
+        # on that key — there are at most 2^cores distinct states.
+        self._cache: dict = {}
+        sim.schedule_after(period_s, self._tick)
+
+    def _occupant_key(self, core: Core) -> str:
+        if core.current is not None:
+            return "lc"
+        if core.background is not None:
+            return core.background.profile.name  # type: ignore[attr-defined]
+        return "idle"
+
+    # ------------------------------------------------------------------
+    def _occupant_ips(self, core: Core, freq_hz: float) -> float:
+        """Instruction throughput of whatever the core is running."""
+        if core.current is not None:
+            return self.lc_ips_model(core, freq_hz)
+        if core.background is not None:
+            return core.background.profile.throughput(freq_hz)  # type: ignore[attr-defined]
+        return 0.0
+
+    def _occupant_power(self, core: Core, freq_hz: float) -> float:
+        if core.current is None and core.background is None:
+            return self.power.sleep_power_w
+        if core.current is not None:
+            total = (core.current.compute_cycles / freq_hz
+                     + core.current.memory_time_s)
+            mem_frac = core.current.memory_time_s / total if total > 0 else 0.0
+        else:
+            mem_frac = core.background.mem_stall_frac(freq_hz)
+        return self.power.busy_power(freq_hz, mem_frac)
+
+    def _assign_throughput(self) -> List[float]:
+        """Greedy marginal IPS/W ascent under the package power budget."""
+        grid = self.cores[0].dvfs.config.frequencies
+        levels = [0] * len(self.cores)
+        budget = self.cmp.tdp_watts - PACKAGE_FIXED_POWER_W
+        spent = sum(self._occupant_power(c, grid[0]) for c in self.cores)
+        while True:
+            best_gain, best_core = 0.0, -1
+            for ci, core in enumerate(self.cores):
+                li = levels[ci]
+                if li + 1 >= len(grid):
+                    continue
+                d_ips = (self._occupant_ips(core, grid[li + 1])
+                         - self._occupant_ips(core, grid[li]))
+                d_p = (self._occupant_power(core, grid[li + 1])
+                       - self._occupant_power(core, grid[li]))
+                if spent + d_p > budget or d_p <= 0:
+                    continue
+                gain = d_ips / d_p
+                if gain > best_gain:
+                    best_gain, best_core = gain, ci
+            if best_core < 0:
+                break
+            li = levels[best_core]
+            spent += (self._occupant_power(self.cores[best_core], grid[li + 1])
+                      - self._occupant_power(self.cores[best_core], grid[li]))
+            levels[best_core] += 1
+        return [grid[l] for l in levels]
+
+    def _assign_tpw(self) -> List[float]:
+        """Greedy ascent maximizing aggregate IPS per package watt.
+
+        Raising a core one step improves the global ratio iff the step's
+        marginal IPS/W exceeds the current aggregate ratio; the fixed
+        package power keeps the optimum away from the bottom of the grid.
+        """
+        grid = self.cores[0].dvfs.config.frequencies
+        levels = [0] * len(self.cores)
+        total_ips = sum(self._occupant_ips(c, grid[0]) for c in self.cores)
+        total_p = PACKAGE_FIXED_POWER_W + sum(
+            self._occupant_power(c, grid[0]) for c in self.cores)
+        improved = True
+        while improved:
+            improved = False
+            ratio = total_ips / total_p
+            best_gain, best_core, best_d = ratio, -1, (0.0, 0.0)
+            for ci, core in enumerate(self.cores):
+                li = levels[ci]
+                if li + 1 >= len(grid):
+                    continue
+                d_ips = (self._occupant_ips(core, grid[li + 1])
+                         - self._occupant_ips(core, grid[li]))
+                d_p = (self._occupant_power(core, grid[li + 1])
+                       - self._occupant_power(core, grid[li]))
+                if d_p <= 0:
+                    continue
+                gain = d_ips / d_p
+                if gain > best_gain:
+                    best_gain, best_core, best_d = gain, ci, (d_ips, d_p)
+            if best_core >= 0:
+                levels[best_core] += 1
+                total_ips += best_d[0]
+                total_p += best_d[1]
+                improved = True
+        return [grid[l] for l in levels]
+
+    def _tick(self) -> None:
+        key = tuple(self._occupant_key(c) for c in self.cores)
+        freqs = self._cache.get(key)
+        if freqs is None:
+            freqs = (self._assign_throughput()
+                     if self.objective == "throughput"
+                     else self._assign_tpw())
+            self._cache[key] = freqs
+        for core, f in zip(self.cores, freqs):
+            core.dvfs.request(f)
+        if self.horizon_s is None or self.sim.now + self.period_s <= self.horizon_s:
+            self.sim.schedule_after(self.period_s, self._tick)
+
+
+def _default_lc_ips_model(core: Core, freq_hz: float) -> float:
+    """Generic LC throughput model for the HW allocator.
+
+    Treats the in-service LC request as a stream of instructions whose
+    compute/memory split matches the request's demand split (so the model
+    depends only on the occupant type, keeping allocations memoizable).
+    Normalized units cancel in the allocator's marginal comparisons.
+    """
+    req = core.current
+    assert req is not None
+    total_cycles = req.compute_cycles
+    mem_s = req.memory_time_s
+    if total_cycles <= 0:
+        return 0.0
+    # Seconds per "cycle of demand": 1/f compute + proportional memory.
+    sec_per_cycle = 1.0 / freq_hz + mem_s / total_cycles
+    return LC_IPC_FACTOR / sec_per_cycle
+
+
+class HwScheme(Scheme):
+    """Per-core stub for HW-T / HW-TPW: the chip allocator owns frequency.
+
+    The scheme itself does nothing on arrivals/completions — exactly the
+    point: hardware DVFS is oblivious to the application's deadlines.
+    """
+
+    def __init__(self, objective: str) -> None:
+        if objective not in ("throughput", "tpw"):
+            raise ValueError("objective must be 'throughput' or 'tpw'")
+        self.objective = objective
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return "HW-T" if self.objective == "throughput" else "HW-TPW"
+
+    def initial_frequency(self) -> float:
+        return self.context.dvfs.nominal_hz

@@ -1,0 +1,220 @@
+"""Colocated-server simulation: 6 cores, each time-sharing LC + batch.
+
+The paper's colocated server (Fig. 13b) runs one copy of the LC app per
+core plus a 6-app batch mix, one batch app per core, over a partitioned
+memory system. Partitioning makes cores independent except for (a) the
+chip-level HW-T/HW-TPW allocators and (b) the shared TDP; both are
+modeled by :class:`~repro.coloc.schemes.ChipLevelAllocator`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import DEFAULT_CMP, CmpConfig
+from repro.coloc.batch import BatchAppProfile, BatchTask
+from repro.coloc.interference import (
+    MicroarchInterference,
+    footprint_penalty_cycles,
+)
+from repro.coloc.schemes import (
+    ChipLevelAllocator,
+    HwScheme,
+    RubikColocScheme,
+    StaticColocScheme,
+)
+from repro.power.model import DEFAULT_CORE_POWER, CorePowerModel
+from repro.schemes.base import Scheme, SchemeContext
+from repro.schemes.static_oracle import find_static_frequency
+from repro.sim.core import Core
+from repro.sim.engine import Simulator
+from repro.sim.server import ARRIVAL_PRIORITY
+from repro.sim.trace import Trace
+from repro.workloads.base import AppProfile
+
+#: The colocation schemes evaluated in Fig. 15.
+COLOC_SCHEME_NAMES = ("RubikColoc", "StaticColoc", "HW-T", "HW-TPW")
+
+
+@dataclasses.dataclass
+class ColocResult:
+    """Outcome of one colocated-server run."""
+
+    scheme: str
+    lc_response_times: np.ndarray
+    duration_s: float
+    core_energy_j: float
+    lc_busy_time_s: float
+    batch_time_s: float
+    num_cores: int
+    batch_instructions: Dict[str, float]
+    interference_penalty_cycles: float
+
+    def tail_latency(self, pct: float = 95.0) -> float:
+        if self.lc_response_times.size == 0:
+            raise ValueError("no completed LC requests")
+        return float(np.percentile(self.lc_response_times, pct))
+
+    @property
+    def mean_core_power_w(self) -> float:
+        """Average power of all cores combined."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.core_energy_j / self.duration_s
+
+    @property
+    def lc_utilization(self) -> float:
+        """Fraction of core-time spent on LC work."""
+        total = self.duration_s * self.num_cores
+        return self.lc_busy_time_s / total if total > 0 else 0.0
+
+    @property
+    def core_utilization(self) -> float:
+        """Fraction of core-time doing any work (LC + batch)."""
+        total = self.duration_s * self.num_cores
+        if total <= 0:
+            return 0.0
+        return (self.lc_busy_time_s + self.batch_time_s) / total
+
+    def batch_throughput(self, name: str) -> float:
+        """Instructions/second for one batch app over the whole run."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.batch_instructions.get(name, 0.0) / self.duration_s
+
+
+def make_coloc_scheme(name: str, lc_static_hz: Optional[float] = None) -> Scheme:
+    """Factory for the per-core scheme of each colocation policy."""
+    if name == "RubikColoc":
+        return RubikColocScheme()
+    if name == "StaticColoc":
+        if lc_static_hz is None:
+            raise ValueError("StaticColoc requires a tuned LC frequency")
+        return StaticColocScheme(lc_static_hz)
+    if name == "HW-T":
+        return HwScheme("throughput")
+    if name == "HW-TPW":
+        return HwScheme("tpw")
+    raise ValueError(f"unknown colocation scheme {name!r}; "
+                     f"available: {COLOC_SCHEME_NAMES}")
+
+
+def run_colocated_server(
+    app: AppProfile,
+    load: float,
+    mix: Sequence[BatchAppProfile],
+    scheme_name: str,
+    context: SchemeContext,
+    seed: int = 0,
+    requests_per_core: Optional[int] = None,
+    cmp_config: CmpConfig = DEFAULT_CMP,
+    power_model: CorePowerModel = DEFAULT_CORE_POWER,
+    interference_factory: Optional[Callable[[], MicroarchInterference]] = None,
+    warmup_per_core: int = 50,
+) -> ColocResult:
+    """Simulate one colocated server under one scheme.
+
+    Args:
+        app: the latency-critical application (one copy per core).
+        load: LC load fraction of per-core saturation.
+        mix: batch apps, one per core (padded cyclically if shorter).
+        scheme_name: one of ``COLOC_SCHEME_NAMES``.
+        context: latency bound and machine configuration.
+        seed: base RNG seed (core ``i`` uses ``seed*100 + i``).
+        requests_per_core: LC requests per core (default: app's paper
+            count split across cores, at least 500).
+        cmp_config: chip configuration (cores, TDP).
+        power_model: per-core power model.
+        interference_factory: builds the per-core microarch interference
+            model charged to post-batch LC requests (default: footprint-
+            scaled refill penalty for the LC app).
+        warmup_per_core: LC completions per core excluded from latency.
+    """
+    if not mix:
+        raise ValueError("mix must contain at least one batch app")
+    if interference_factory is None:
+        mean_cycles = ((1.0 - app.mem_fraction) * app.mean_service_s
+                       * app.nominal_hz)
+        penalty = footprint_penalty_cycles(mean_cycles)
+        interference_factory = (
+            lambda: MicroarchInterference(max_penalty_cycles=penalty))
+    n_cores = cmp_config.num_cores
+    n_req = requests_per_core
+    if n_req is None:
+        n_req = max(500, app.num_requests // n_cores)
+
+    # StaticColoc's LC frequency is tuned interference-free (that blind
+    # spot is the point of the comparison).
+    lc_static_hz = None
+    if scheme_name == "StaticColoc":
+        tuning_trace = Trace.generate_at_load(app, load, n_req, seed=seed * 100 + 91)
+        lc_static_hz = find_static_frequency(
+            tuning_trace, context.latency_bound_s, context)
+
+    sim = Simulator()
+    cores: List[Core] = []
+    tasks: List[BatchTask] = []
+    interferences: List[MicroarchInterference] = []
+    traces: List[Trace] = []
+    for ci in range(n_cores):
+        profile = mix[ci % len(mix)]
+        task = BatchTask(profile, context.dvfs, power_model)
+        interference = interference_factory()
+        core = Core(
+            sim,
+            context.dvfs,
+            power_model,
+            background=task,
+            interference_cycles=interference,
+        )
+        scheme = make_coloc_scheme(scheme_name, lc_static_hz)
+        scheme.setup(sim, core, context)
+        trace = Trace.generate_at_load(app, load, n_req, seed=seed * 100 + ci)
+        for req in trace.to_requests():
+            sim.schedule(req.arrival_time,
+                         (lambda r=req, c=core: c.enqueue(r)),
+                         priority=ARRIVAL_PRIORITY)
+        cores.append(core)
+        tasks.append(task)
+        interferences.append(interference)
+        traces.append(trace)
+
+    horizon = max(t.arrivals[-1] for t in traces) + 100.0  # generous cap
+    if scheme_name in ("HW-T", "HW-TPW"):
+        objective = "throughput" if scheme_name == "HW-T" else "tpw"
+        ChipLevelAllocator(sim, cores, cmp_config, power_model,
+                           objective=objective, horizon_s=horizon)
+
+    total = n_req * n_cores
+    while sum(len(c.completed) for c in cores) < total:
+        if not sim.step():
+            break
+        if sim.now > horizon:
+            break
+    for core in cores:
+        core.finalize()
+
+    lc_latencies = np.concatenate([
+        np.array([r.response_time for r in core.completed[warmup_per_core:]])
+        for core in cores
+    ])
+    batch_instr: Dict[str, float] = {}
+    for task in tasks:
+        batch_instr[task.profile.name] = (
+            batch_instr.get(task.profile.name, 0.0) + task.instructions)
+
+    return ColocResult(
+        scheme=scheme_name,
+        lc_response_times=lc_latencies,
+        duration_s=sim.now,
+        core_energy_j=sum(c.meter.energy_j for c in cores),
+        lc_busy_time_s=sum(c.meter.busy_time_s for c in cores),
+        batch_time_s=sum(c.meter.batch_time_s for c in cores),
+        num_cores=n_cores,
+        batch_instructions=batch_instr,
+        interference_penalty_cycles=sum(
+            i.total_penalty_cycles for i in interferences),
+    )

@@ -1,0 +1,162 @@
+"""Machine configuration constants (paper Table 2).
+
+The simulated system mirrors the paper's 6-core Westmere-like CMP with
+Haswell-style FIVR per-core DVFS:
+
+* frequency range 0.8--3.4 GHz in 200 MHz steps,
+* 2.4 GHz nominal frequency,
+* 4 us voltage/frequency transition latency,
+* 65 W TDP,
+* core sleep state with private caches flushed to the LLC (Haswell C3).
+
+All times are seconds, frequencies are Hz, and work is measured in core
+cycles throughout the code base.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+GHZ = 1e9
+MHZ = 1e6
+US = 1e-6
+MS = 1e-3
+
+#: Nominal core frequency (Table 2), also the reference for "100% load".
+NOMINAL_FREQUENCY_HZ = 2.4 * GHZ
+
+#: DVFS range and step size (Table 2).
+MIN_FREQUENCY_HZ = 0.8 * GHZ
+MAX_FREQUENCY_HZ = 3.4 * GHZ
+FREQUENCY_STEP_HZ = 0.2 * GHZ
+
+#: Voltage/frequency transition latency modeled in simulation (Table 2).
+DVFS_TRANSITION_LATENCY_S = 4 * US
+
+#: Transition latency observed on the real Haswell system (Sec. 5.5).
+REAL_SYSTEM_DVFS_LATENCY_S = 130 * US
+
+#: Number of cores in the simulated CMP (Table 2).
+NUM_CORES = 6
+
+#: Thermal design power of the simulated chip, watts (Table 2).
+TDP_WATTS = 65.0
+
+#: Tail-latency percentile used throughout the paper (Sec. 5.1).
+TAIL_PERCENTILE = 95.0
+
+
+def frequency_grid(
+    min_hz: float = MIN_FREQUENCY_HZ,
+    max_hz: float = MAX_FREQUENCY_HZ,
+    step_hz: float = FREQUENCY_STEP_HZ,
+) -> Tuple[float, ...]:
+    """Return the available DVFS frequency steps, ascending.
+
+    The default grid is the paper's 0.8--3.4 GHz range in 200 MHz steps
+    (14 settings).
+    """
+    if min_hz <= 0 or step_hz <= 0:
+        raise ValueError("frequencies and step must be positive")
+    if max_hz < min_hz:
+        raise ValueError("max_hz must be >= min_hz")
+    steps = []
+    f = min_hz
+    # Tolerate float drift: stop once we pass max_hz by more than half a step.
+    while f <= max_hz + step_hz / 2:
+        steps.append(round(f, 3))
+        f += step_hz
+    return tuple(steps)
+
+
+@dataclasses.dataclass(frozen=True)
+class DvfsConfig:
+    """Per-core DVFS capabilities.
+
+    Attributes:
+        frequencies: available frequency steps in Hz, ascending.
+        transition_latency_s: time for a voltage/frequency change to take
+            effect. The core keeps running at the old frequency during the
+            transition (conservative, matches the paper's FIVR model).
+        nominal_hz: the nominal frequency used by the fixed-frequency
+            baseline and to define 100% load.
+    """
+
+    frequencies: Tuple[float, ...] = frequency_grid()
+    transition_latency_s: float = DVFS_TRANSITION_LATENCY_S
+    nominal_hz: float = NOMINAL_FREQUENCY_HZ
+
+    def __post_init__(self) -> None:
+        if not self.frequencies:
+            raise ValueError("frequency grid must not be empty")
+        if list(self.frequencies) != sorted(self.frequencies):
+            raise ValueError("frequency grid must be ascending")
+        if self.transition_latency_s < 0:
+            raise ValueError("transition latency must be non-negative")
+        if not (self.min_hz <= self.nominal_hz <= self.max_hz):
+            raise ValueError("nominal frequency outside the grid range")
+
+    @property
+    def min_hz(self) -> float:
+        return self.frequencies[0]
+
+    @property
+    def max_hz(self) -> float:
+        return self.frequencies[-1]
+
+    def quantize_up(self, f_hz: float) -> float:
+        """Smallest available frequency >= ``f_hz`` (clamped to max).
+
+        Rubik always rounds *up* so the analytical guarantee is preserved.
+        """
+        for step in self.frequencies:
+            if step >= f_hz - 1e-9:
+                return step
+        return self.frequencies[-1]
+
+    def quantize_down(self, f_hz: float) -> float:
+        """Largest available frequency <= ``f_hz`` (clamped to min)."""
+        best = self.frequencies[0]
+        for step in self.frequencies:
+            if step <= f_hz + 1e-9:
+                best = step
+            else:
+                break
+        return best
+
+
+@dataclasses.dataclass(frozen=True)
+class CmpConfig:
+    """Whole-chip configuration (paper Table 2)."""
+
+    num_cores: int = NUM_CORES
+    tdp_watts: float = TDP_WATTS
+    dvfs: DvfsConfig = dataclasses.field(default_factory=DvfsConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        if self.tdp_watts <= 0:
+            raise ValueError("tdp_watts must be positive")
+
+    @property
+    def per_core_power_budget_watts(self) -> float:
+        """TDP share per core, used by the HW-T colocation scheme."""
+        return self.tdp_watts / self.num_cores
+
+
+#: Default chip configuration used across experiments.
+DEFAULT_CMP = CmpConfig()
+
+#: Default DVFS configuration used across experiments.
+DEFAULT_DVFS = DEFAULT_CMP.dvfs
+
+
+def real_system_dvfs() -> DvfsConfig:
+    """DVFS configuration matching the paper's real-system setup (Sec. 5.5).
+
+    Same frequency grid, but with the ~130 us transition latency observed
+    on the Haswell testbed instead of the advertised 500 ns.
+    """
+    return DvfsConfig(transition_latency_s=REAL_SYSTEM_DVFS_LATENCY_S)

@@ -1,0 +1,8 @@
+"""Rubik's analytical core: distributions, target tail tables, profiler,
+PI feedback, and the controller itself (paper Sec. 4)."""
+
+from repro.core.controller import Rubik
+from repro.core.histogram import Histogram
+from repro.core.tail_tables import TailTable, TargetTailTables
+
+__all__ = ["Histogram", "Rubik", "TailTable", "TargetTailTables"]

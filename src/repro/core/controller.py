@@ -1,0 +1,185 @@
+"""The Rubik controller (paper Sec. 4).
+
+On every request arrival and completion, Rubik evaluates the frequency
+constraint (paper Eq. 2)
+
+    f  >=  max_i  c_i / (L - (t_i + m_i))
+
+where, for each request ``R_i`` in the system, ``t_i`` is the time it has
+already spent in the system and ``(c_i, m_i)`` are the tail compute cycles
+and tail memory time until its completion, read from the precomputed
+target tail tables. The lowest DVFS step satisfying the constraint is
+requested; if no step can (``L - t_i - m_i <= 0`` or the required
+frequency exceeds the grid), the maximum frequency is used — latency is
+already compromised and Rubik recovers as fast as possible.
+
+Table refreshes are periodic (paper: every 100 ms, costing ~0.2 ms of idle
+time, which we treat as free) and piggyback on event processing; the PI
+trimmer (Sec. 4.2, "Feedback-based fine-tuning") optionally adjusts the
+internal latency target from the measured tail.
+
+Rubik is application-agnostic: it sees only arrival timestamps and
+counter-measured demands of *completed* requests, never the app's identity
+or per-request hints (contrast with Adrenaline).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.feedback import LatencyTargetTrimmer
+from repro.core.profiler import DemandProfiler
+from repro.core.tail_tables import (
+    DEFAULT_MAX_EXPLICIT,
+    DEFAULT_NUM_ROWS,
+    TargetTailTables,
+)
+from repro.schemes.base import Scheme, SchemeContext
+from repro.sim.core import Core
+from repro.sim.engine import Simulator
+from repro.sim.request import Request
+
+#: Paper Sec. 4.2: the runtime refreshes the tables every 100 ms.
+DEFAULT_UPDATE_PERIOD_S = 0.1
+
+
+class Rubik(Scheme):
+    """Fine-grain analytical DVFS for latency-critical workloads."""
+
+    def __init__(
+        self,
+        update_period_s: float = DEFAULT_UPDATE_PERIOD_S,
+        feedback: bool = True,
+        profiler_window: int = 2000,
+        min_samples: int = 16,
+        num_rows: int = DEFAULT_NUM_ROWS,
+        max_explicit: int = DEFAULT_MAX_EXPLICIT,
+    ) -> None:
+        """Args:
+            update_period_s: target-tail-table refresh period.
+            feedback: enable the PI latency-target trimmer (paper evaluates
+                Rubik both with and without it, Fig. 9).
+            profiler_window: completions retained for the demand model.
+            min_samples: completions required before the model activates
+                (until then Rubik conservatively runs at max frequency).
+            num_rows: elapsed-work rows in the tail tables (octiles).
+            max_explicit: queue depth covered by convolution before the
+                CLT approximation takes over.
+        """
+        if update_period_s <= 0:
+            raise ValueError("update period must be positive")
+        self.update_period_s = update_period_s
+        self.feedback_enabled = feedback
+        self.profiler = DemandProfiler(profiler_window, min_samples)
+        self.num_rows = num_rows
+        self.max_explicit = max_explicit
+        self.tables: Optional[TargetTailTables] = None
+        self.trimmer: Optional[LatencyTargetTrimmer] = None
+        self._last_table_update = float("-inf")
+        self._samples_at_last_update = 0
+        self.table_updates = 0
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return "Rubik" if self.feedback_enabled else "Rubik (No Feedback)"
+
+    # ------------------------------------------------------------------
+    def setup(self, sim: Simulator, core: Core, context: SchemeContext) -> None:
+        super().setup(sim, core, context)
+        if self.feedback_enabled:
+            self.trimmer = LatencyTargetTrimmer(
+                bound_s=context.latency_bound_s,
+                tail_percentile=context.tail_percentile,
+            )
+
+    def initial_frequency(self) -> float:
+        """Start at max: safe before the demand model has data."""
+        return self.context.dvfs.max_hz
+
+    # ------------------------------------------------------------------
+    # Event hooks: Fig. 3 — adjust frequency on each arrival/completion.
+    # ------------------------------------------------------------------
+    def on_arrival(self, core: Core, request: Request) -> None:
+        self._maybe_refresh_tables()
+        self._update_frequency(core)
+
+    def on_completion(self, core: Core, request: Request) -> None:
+        # Counter-measured demands of the completed request feed the model.
+        self.profiler.observe(request.compute_cycles, request.memory_time_s)
+        if self.trimmer is not None:
+            self.trimmer.observe(self.sim.now, request.response_time)
+        self._maybe_refresh_tables()
+        self._update_frequency(core)
+
+    # ------------------------------------------------------------------
+    @property
+    def internal_target_s(self) -> float:
+        """The latency target the analytical model currently aims at."""
+        if self.trimmer is not None:
+            return self.trimmer.internal_target_s
+        return self.context.latency_bound_s
+
+    def _maybe_refresh_tables(self) -> None:
+        now = self.sim.now
+        if now - self._last_table_update < self.update_period_s:
+            return
+        if not self.profiler.ready:
+            return
+        if self.profiler.total_observed == self._samples_at_last_update:
+            return  # nothing new to learn
+        snapshot = self.profiler.snapshot()
+        assert snapshot is not None
+        cycles, memory = snapshot
+        self.tables = TargetTailTables(
+            cycles,
+            memory,
+            quantile=self.context.tail_quantile,
+            num_rows=self.num_rows,
+            max_explicit=self.max_explicit,
+        )
+        self._last_table_update = now
+        self._samples_at_last_update = self.profiler.total_observed
+        self.table_updates += 1
+
+    def _update_frequency(self, core: Core) -> None:
+        requests = core.pending_requests()
+        dvfs = self.context.dvfs
+        if not requests:
+            # Empty system: nothing constrains frequency; park at the
+            # bottom of the grid (idle power is handled by sleep states).
+            core.request_frequency(dvfs.min_hz)
+            return
+        if self.tables is None:
+            core.request_frequency(dvfs.max_hz)
+            return
+
+        now = self.sim.now
+        target = self.internal_target_s
+        elapsed_c, elapsed_m = core.current_request_elapsed()
+
+        required_hz = 0.0
+        any_hopeless = False
+        for i, req in enumerate(requests):
+            c_i, m_i = self.tables.constraint(i, elapsed_c, elapsed_m)
+            slack = target - (now - req.arrival_time) - m_i
+            if slack <= 0.0:
+                # Constraint unsatisfiable at any frequency (Eq. 2's
+                # denominator is non-positive): the request has already
+                # lost its tail budget, so burning max frequency cannot
+                # save it and it imposes no *latency* constraint of its
+                # own. It does impose a *stability* constraint: the
+                # backlog it represents must drain at least at the
+                # nominal rate, or future arrivals inherit an ever-
+                # growing queue (with no floor, a fully-hopeless queue
+                # would leave Eq. 2 unconstrained and park the core at
+                # minimum frequency — a death spiral under overload).
+                any_hopeless = True
+                continue
+            required_hz = max(required_hz, c_i / slack)
+
+        if any_hopeless:
+            required_hz = max(required_hz, dvfs.nominal_hz)
+        if required_hz >= dvfs.max_hz:
+            core.request_frequency(dvfs.max_hz)
+        else:
+            core.request_frequency(dvfs.quantize_up(required_hz))

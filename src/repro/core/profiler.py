@@ -1,0 +1,80 @@
+"""Online demand profiling (paper Sec. 4.2, "Estimating probability
+distributions").
+
+The real Rubik runtime derives per-request compute cycles and memory-bound
+time from CPI-stack performance counters. In simulation those two demands
+are known exactly per request, so the profiler's job reduces to windowed
+collection: keep the most recent completions and expose them as 128-bucket
+histograms on demand.
+
+A bounded window (rather than all history) is what lets Rubik track
+long-term drift in service demands — e.g. when colocation interference
+inflates compute cycles, the distributions follow within one window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.core.histogram import DEFAULT_NUM_BUCKETS, Histogram
+
+
+class DemandProfiler:
+    """Sliding-window collector of per-request (cycles, memory-time) pairs."""
+
+    def __init__(
+        self,
+        window: int = 2000,
+        min_samples: int = 16,
+        num_buckets: int = DEFAULT_NUM_BUCKETS,
+    ) -> None:
+        """Args:
+            window: number of most-recent completions retained.
+            min_samples: completions required before snapshots are offered
+                (the controller stays at a safe frequency until then).
+            num_buckets: histogram resolution (paper: 128).
+        """
+        if window <= 0 or min_samples <= 0:
+            raise ValueError("window and min_samples must be positive")
+        if min_samples > window:
+            raise ValueError("min_samples cannot exceed the window")
+        self.window = window
+        self.min_samples = min_samples
+        self.num_buckets = num_buckets
+        self._cycles: Deque[float] = deque(maxlen=window)
+        self._memory: Deque[float] = deque(maxlen=window)
+        self.total_observed = 0
+
+    def observe(self, compute_cycles: float, memory_time_s: float) -> None:
+        """Record one completed request's measured demands."""
+        if compute_cycles < 0 or memory_time_s < 0:
+            raise ValueError("demands must be non-negative")
+        self._cycles.append(compute_cycles)
+        self._memory.append(memory_time_s)
+        self.total_observed += 1
+
+    @property
+    def ready(self) -> bool:
+        """True once enough samples exist to build distributions."""
+        return len(self._cycles) >= self.min_samples
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._cycles)
+
+    def snapshot(self) -> Optional[Tuple[Histogram, Histogram]]:
+        """Current (compute-cycles, memory-time) histograms, or None.
+
+        The memory histogram degenerates to a point mass at zero for
+        compute-only workloads; the tail tables handle that uniformly.
+        """
+        if not self.ready:
+            return None
+        cycles = Histogram.from_samples(list(self._cycles), self.num_buckets)
+        mem_samples = list(self._memory)
+        if max(mem_samples) <= 0:
+            memory = Histogram.point_mass(0.0, bucket_width=1e-9)
+        else:
+            memory = Histogram.from_samples(mem_samples, self.num_buckets)
+        return cycles, memory

@@ -1,0 +1,142 @@
+"""Target tail tables (paper Sec. 4.1--4.2, Fig. 5).
+
+A :class:`TailTable` answers, in O(1) per query: *given that the running
+request has already executed elapsed work* ``w`` *and that request* ``i``
+*is i-th in line, what is the tail (e.g. 95th-percentile) total work until
+request i completes?*
+
+Construction (periodic, not per-event):
+
+* Rows condition the running request's distribution on elapsed work. Rows
+  are bounded by quantiles of the base distribution (paper: octiles); a
+  lookup uses the row whose band contains the observed elapsed work, and
+  each row is built by conditioning on the band's *lower* edge, which
+  over-estimates remaining work (conservative, never violates the bound).
+* Columns walk the queue: column ``i`` holds the tail of
+  ``S_i = S_0 + S + ... + S`` (i-fold convolution, paper Eq. in Sec. 4.1).
+* Beyond ``max_explicit`` columns, Lyapunov's CLT gives
+  ``S_i ~ N(E[S_0] + i E[S], var[S_0] + i var[S])`` (paper: i >= 16).
+
+Two tables are kept: compute cycles (c_i) and memory-bound time (m_i); the
+controller combines their tails via the paper's triangle-inequality
+approximation (Eq. 2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.histogram import Histogram, _normal_quantile
+
+#: Paper implementation uses octile rows and 16 explicit queue positions.
+DEFAULT_NUM_ROWS = 8
+DEFAULT_MAX_EXPLICIT = 16
+
+
+class TailTable:
+    """Precomputed tail-of-completion-work table for one demand type."""
+
+    def __init__(
+        self,
+        base: Histogram,
+        quantile: float = 0.95,
+        num_rows: int = DEFAULT_NUM_ROWS,
+        max_explicit: int = DEFAULT_MAX_EXPLICIT,
+    ) -> None:
+        """Args:
+            base: distribution of per-request demand, ``P[S = c]``.
+            quantile: tail percentile as a fraction (0.95 for the paper).
+            num_rows: elapsed-work bands (paper: octiles).
+            max_explicit: queue positions computed by convolution; deeper
+                positions use the Gaussian approximation.
+        """
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        if num_rows <= 0 or max_explicit <= 0:
+            raise ValueError("num_rows and max_explicit must be positive")
+        self.base = base
+        self.quantile = quantile
+        self.num_rows = num_rows
+        self.max_explicit = max_explicit
+        self.base_mean = base.mean()
+        self.base_var = base.variance()
+        self._z = _normal_quantile(quantile)
+
+        # Row boundaries: elapsed-work quantiles of the base distribution.
+        # Row r covers elapsed in [bounds[r], bounds[r+1]); row 0 is w = 0.
+        qs = [k / num_rows for k in range(1, num_rows)]
+        self.row_bounds = [0.0] + [base.quantile(q) for q in qs]
+
+        # Explicit table: rows x max_explicit tails, plus per-row moments
+        # of the conditioned distribution for the Gaussian extension.
+        self.table = np.empty((num_rows, max_explicit))
+        self.row_means = np.empty(num_rows)
+        self.row_vars = np.empty(num_rows)
+        for r, elapsed in enumerate(self.row_bounds):
+            conditioned = base.condition_on_elapsed(elapsed)
+            self.row_means[r] = conditioned.mean()
+            self.row_vars[r] = conditioned.variance()
+            acc = conditioned
+            for i in range(max_explicit):
+                self.table[r, i] = acc.quantile(quantile)
+                if i + 1 < max_explicit:
+                    acc = acc.convolve(base)
+
+    # ------------------------------------------------------------------
+    def row_for_elapsed(self, elapsed: float) -> int:
+        """Row whose elapsed-work band contains ``elapsed``."""
+        if elapsed < 0:
+            raise ValueError("elapsed must be non-negative")
+        row = 0
+        for r, bound in enumerate(self.row_bounds):
+            if elapsed >= bound:
+                row = r
+            else:
+                break
+        return row
+
+    def tail(self, position: int, elapsed: float = 0.0) -> float:
+        """Tail work until the request at queue ``position`` completes.
+
+        Args:
+            position: 0 for the running request, i for the i-th queued one.
+            elapsed: work the *running* request has already executed.
+        """
+        if position < 0:
+            raise ValueError("position must be non-negative")
+        row = self.row_for_elapsed(elapsed)
+        if position < self.max_explicit:
+            return float(self.table[row, position])
+        # CLT extension (paper: i >= 16): Gaussian with accumulated moments.
+        mean = self.row_means[row] + position * self.base_mean
+        var = self.row_vars[row] + position * self.base_var
+        return max(0.0, float(mean + self._z * np.sqrt(max(var, 0.0))))
+
+    def tails_for_queue(self, queue_len: int, elapsed: float = 0.0) -> List[float]:
+        """Tails for positions 0..queue_len-1 (single row lookup)."""
+        return [self.tail(i, elapsed) for i in range(queue_len)]
+
+
+class TargetTailTables:
+    """The pair of tables Rubik consults on every event (Fig. 5)."""
+
+    def __init__(
+        self,
+        cycles: Histogram,
+        memory: Histogram,
+        quantile: float = 0.95,
+        num_rows: int = DEFAULT_NUM_ROWS,
+        max_explicit: int = DEFAULT_MAX_EXPLICIT,
+    ) -> None:
+        self.cycles = TailTable(cycles, quantile, num_rows, max_explicit)
+        self.memory = TailTable(memory, quantile, num_rows, max_explicit)
+
+    def constraint(self, position: int, elapsed_cycles: float,
+                   elapsed_memory_s: float) -> tuple:
+        """(c_i, m_i): tail compute cycles and tail memory seconds until
+        completion of the request at ``position``."""
+        c_i = self.cycles.tail(position, elapsed_cycles)
+        m_i = self.memory.tail(position, elapsed_memory_s)
+        return c_i, m_i

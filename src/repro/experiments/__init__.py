@@ -1,0 +1,3 @@
+"""One experiment module per paper table/figure (see DESIGN.md Sec. 4
+for the experiment index). Each module exposes ``run_*`` functions
+returning structured results and a ``main()`` that prints the report."""

@@ -1,0 +1,98 @@
+"""Ablations of Rubik's design choices (DESIGN.md knobs).
+
+Not a paper figure — these quantify the load-bearing pieces of Rubik's
+design on a common workload point (masstree @40% load):
+
+* **feedback** — PI trimmer on vs off (paper Fig. 9 evaluates both).
+* **table rows** — octile conditioning rows (paper) vs quartiles vs a
+  single unconditioned row.
+* **CLT threshold** — 16 explicit convolution columns (paper) vs 4.
+* **update period** — 100 ms table refresh (paper) vs 1 s.
+* **Pegasus** — feedback-only control, bounding what coarse feedback
+  alone achieves (its savings should not exceed StaticOracle's).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.analysis.tables import render_table
+from repro.config import NOMINAL_FREQUENCY_HZ
+from repro.core.controller import Rubik
+from repro.experiments.common import make_context
+from repro.schemes.pegasus import Pegasus
+from repro.schemes.replay import replay
+from repro.schemes.static_oracle import StaticOracle
+from repro.sim.server import run_trace
+from repro.sim.trace import Trace
+from repro.workloads.apps import MASSTREE
+
+LOAD = 0.4
+
+
+@dataclasses.dataclass
+class AblationResult:
+    """Per-variant (power savings, tail/bound, violation rate)."""
+
+    rows: Dict[str, Dict[str, float]]
+    bound_ms: float
+
+    def table(self) -> str:
+        table_rows = [
+            (name, vals["savings"] * 100, vals["tail_ratio"],
+             vals["violations"] * 100)
+            for name, vals in self.rows.items()
+        ]
+        return render_table(
+            ("Variant", "Savings %", "Tail/Bound", "Viol %"),
+            table_rows, float_fmt=".2f",
+            title=f"Rubik ablations (masstree @{LOAD:.0%}, "
+                  f"bound={self.bound_ms:.3f} ms)")
+
+
+def run_ablations(num_requests: Optional[int] = None,
+                  seed: int = 21) -> AblationResult:
+    """Run every ablation variant on the same trace."""
+    app = MASSTREE
+    context = make_context(app, seed, num_requests)
+    trace = Trace.generate_at_load(app, LOAD, num_requests, seed)
+    base_power = replay(trace, NOMINAL_FREQUENCY_HZ).mean_core_power_w
+    bound = context.latency_bound_s
+
+    variants = {
+        "Rubik (paper config)": Rubik(),
+        "no feedback": Rubik(feedback=False),
+        "quartile rows": Rubik(num_rows=4),
+        "single row (no conditioning)": Rubik(num_rows=1),
+        "CLT after 4 columns": Rubik(max_explicit=4),
+        "1 s table refresh": Rubik(update_period_s=1.0),
+        "Pegasus (feedback only)": Pegasus(),
+    }
+    static = StaticOracle()
+    static_rep = static.evaluate(trace, context)
+
+    rows: Dict[str, Dict[str, float]] = {}
+    for name, scheme in variants.items():
+        run = run_trace(trace, scheme, context)
+        rows[name] = {
+            "savings": 1.0 - run.mean_core_power_w / base_power,
+            "tail_ratio": run.tail_latency() / bound,
+            "violations": run.violation_rate(bound),
+        }
+    rows["StaticOracle (reference)"] = {
+        "savings": 1.0 - static_rep.mean_core_power_w / base_power,
+        "tail_ratio": static_rep.tail_latency() / bound,
+        "violations": static_rep.violation_rate(bound),
+    }
+    return AblationResult(rows, bound * 1e3)
+
+
+def main(num_requests: Optional[int] = None) -> str:
+    report = run_ablations(num_requests).table()
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

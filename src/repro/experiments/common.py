@@ -1,0 +1,147 @@
+"""Shared experiment methodology (paper Sec. 5.1--5.2).
+
+Conventions used by every experiment module:
+
+* **Latency bound**: the 95th-percentile latency of the fixed-frequency
+  scheme at 50% load, measured on the same seed's demand stream the
+  evaluation uses (demands are seed-determined and load-independent, so
+  the bound tracks each trace's demand draw exactly as the paper's
+  per-application measurement does).
+* **Seeds**: every data point is averaged over ``DEFAULT_EVAL_SEEDS``
+  independent runs (the paper runs each experiment until 95% confidence
+  intervals are below 1%).
+* **Training/evaluation split**: offline-tuned schemes (AdrenalineOracle)
+  train on dedicated training seeds; per-trace oracles (StaticOracle,
+  DynamicOracle) tune on the evaluation trace by definition.
+* **Power savings**: relative to the fixed-frequency scheme at the same
+  load, using time-averaged core power (the paper's "active core power").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import NOMINAL_FREQUENCY_HZ
+from repro.core.controller import Rubik
+from repro.schemes.adrenaline import AdrenalineOracle
+from repro.schemes.base import SchemeContext
+from repro.schemes.replay import ReplayResult, replay
+from repro.schemes.static_oracle import StaticOracle
+from repro.sim.server import RunResult, run_trace
+from repro.sim.trace import Trace
+from repro.workloads.base import AppProfile
+
+#: Load at which the latency bound is defined (paper Sec. 5.2).
+BOUND_LOAD = 0.5
+
+#: Evaluation seeds per data point.
+DEFAULT_EVAL_SEEDS: Tuple[int, ...] = (21, 22, 23)
+
+#: Seed offset separating training traces from evaluation traces.
+TRAINING_SEED_OFFSET = 1000
+
+
+def latency_bound(app: AppProfile, seed: int,
+                  num_requests: Optional[int] = None) -> float:
+    """Tail-latency target: fixed-frequency tail at 50% load, same seed."""
+    trace = Trace.generate_at_load(app, BOUND_LOAD, num_requests, seed)
+    return replay(trace, NOMINAL_FREQUENCY_HZ).tail_latency()
+
+
+def make_context(app: AppProfile, seed: int,
+                 num_requests: Optional[int] = None) -> SchemeContext:
+    """Context with the per-seed latency bound for ``app``."""
+    return SchemeContext(
+        latency_bound_s=latency_bound(app, seed, num_requests), app=app)
+
+
+def training_traces(app: AppProfile, load: float, seed: int,
+                    num_requests: Optional[int] = None,
+                    count: int = 2) -> Tuple[List[Trace], List[float]]:
+    """Traces for offline tuning, disjoint from the evaluation trace.
+
+    Returns (traces, per-trace bounds), each bound computed on its own
+    seed with the standard methodology.
+    """
+    seeds = [seed + TRAINING_SEED_OFFSET + k for k in range(count)]
+    traces = [Trace.generate_at_load(app, load, num_requests, s)
+              for s in seeds]
+    bounds = [latency_bound(app, s, num_requests) for s in seeds]
+    return traces, bounds
+
+
+@dataclasses.dataclass
+class SchemePoint:
+    """One scheme at one (app, load) point, averaged over seeds."""
+
+    scheme: str
+    power_savings: float
+    energy_per_request_mj: float
+    tail_latency_ms: float
+    violation_rate: float
+
+
+def _power_and_tail(result, bound: float) -> Tuple[float, float, float]:
+    """(mean power, tail, violation rate) for Run/Replay results."""
+    if isinstance(result, RunResult):
+        return (result.mean_core_power_w, result.tail_latency(),
+                result.violation_rate(bound))
+    assert isinstance(result, ReplayResult)
+    return (result.mean_core_power_w, result.tail_latency(),
+            result.violation_rate(bound))
+
+
+def compare_schemes(
+    app: AppProfile,
+    load: float,
+    seeds: Sequence[int] = DEFAULT_EVAL_SEEDS,
+    num_requests: Optional[int] = None,
+    include: Sequence[str] = ("StaticOracle", "AdrenalineOracle", "Rubik"),
+) -> Dict[str, SchemePoint]:
+    """Evaluate the Fig. 6 scheme suite at one (app, load) point.
+
+    Returns per-scheme seed-averaged results, keyed by scheme name.
+    Power savings are relative to fixed-frequency at the same load.
+    """
+    if load <= 0:
+        raise ValueError("load must be positive")
+    acc: Dict[str, List[Tuple[float, float, float, float]]] = {
+        name: [] for name in include}
+    for seed in seeds:
+        context = make_context(app, seed, num_requests)
+        bound = context.latency_bound_s
+        trace = Trace.generate_at_load(app, load, num_requests, seed)
+        base = replay(trace, NOMINAL_FREQUENCY_HZ)
+        base_power = base.mean_core_power_w
+        for name in include:
+            if name == "StaticOracle":
+                result = StaticOracle().evaluate(trace, context)
+            elif name == "AdrenalineOracle":
+                tr_traces, tr_bounds = training_traces(
+                    app, load, seed, num_requests)
+                result = AdrenalineOracle().evaluate(
+                    trace, context, tr_traces, tr_bounds)
+            elif name == "Rubik":
+                result = run_trace(trace, Rubik(), context)
+            elif name == "Rubik (No Feedback)":
+                result = run_trace(trace, Rubik(feedback=False), context)
+            else:
+                raise ValueError(f"unknown scheme {name!r}")
+            power, tail, viol = _power_and_tail(result, bound)
+            energy = result.energy_per_request_j
+            acc[name].append((1.0 - power / base_power, energy, tail, viol))
+
+    points: Dict[str, SchemePoint] = {}
+    for name, rows in acc.items():
+        arr = np.asarray(rows)
+        points[name] = SchemePoint(
+            scheme=name,
+            power_savings=float(arr[:, 0].mean()),
+            energy_per_request_mj=float(arr[:, 1].mean() * 1e3),
+            tail_latency_ms=float(arr[:, 2].mean() * 1e3),
+            violation_rate=float(arr[:, 3].mean()),
+        )
+    return points

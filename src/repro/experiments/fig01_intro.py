@@ -1,0 +1,144 @@
+"""Fig. 1 — Rubik vs StaticOracle on masstree (the paper's teaser).
+
+(a) Core energy per request at 30/40/50% load.
+(b) Response to a load step from 30% to 50% at t = 1 s: input load,
+    tail latency over a rolling 200 ms window, and Rubik's frequency
+    choices over time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.tables import render_series, render_table
+from repro.analysis.windows import windowed_series
+from repro.core.controller import Rubik
+from repro.experiments.common import make_context
+from repro.schemes.static_oracle import StaticOracle
+from repro.sim.arrivals import LoadSchedule
+from repro.sim.server import run_trace
+from repro.sim.trace import Trace
+from repro.workloads.apps import MASSTREE
+
+LOADS = (0.3, 0.4, 0.5)
+
+
+@dataclasses.dataclass
+class Fig1aResult:
+    """Energy per request (mJ) for each scheme at each load."""
+
+    loads: Tuple[float, ...]
+    static_oracle_mj: List[float]
+    rubik_mj: List[float]
+
+    def table(self) -> str:
+        rows = [
+            (f"{ld:.0%}", s, r, 1.0 - r / s)
+            for ld, s, r in zip(self.loads, self.static_oracle_mj,
+                                self.rubik_mj)
+        ]
+        return render_table(
+            ("Load", "StaticOracle mJ/req", "Rubik mJ/req", "Rubik saves"),
+            rows, title="Fig. 1a: core energy per request (masstree)")
+
+
+@dataclasses.dataclass
+class Fig1bResult:
+    """Load-step response traces."""
+
+    window_times: np.ndarray
+    static_tail_ms: np.ndarray
+    rubik_window_times: np.ndarray
+    rubik_tail_ms: np.ndarray
+    freq_times: np.ndarray
+    freq_ghz: np.ndarray
+    bound_ms: float
+
+    def table(self) -> str:
+        lines = [
+            "Fig. 1b: masstree load step 30% -> 50% at t=1s "
+            f"(bound {self.bound_ms:.3f} ms)",
+            render_series("StaticOracle tail (ms) vs t",
+                          self.window_times, self.static_tail_ms),
+            render_series("Rubik tail (ms) vs t",
+                          self.rubik_window_times, self.rubik_tail_ms),
+        ]
+        return "\n".join(lines)
+
+
+def run_fig1a(num_requests: Optional[int] = None,
+              seed: int = 21) -> Fig1aResult:
+    """Energy-per-request comparison (Fig. 1a)."""
+    app = MASSTREE
+    context = make_context(app, seed, num_requests)
+    static_mj, rubik_mj = [], []
+    for load in LOADS:
+        trace = Trace.generate_at_load(app, load, num_requests, seed)
+        static = StaticOracle()
+        static_res = static.evaluate(trace, context)
+        rubik_res = run_trace(trace, Rubik(), context)
+        static_mj.append(static_res.energy_per_request_j * 1e3)
+        rubik_mj.append(rubik_res.energy_per_request_j * 1e3)
+    return Fig1aResult(LOADS, static_mj, rubik_mj)
+
+
+def run_fig1b(num_requests: int = 6000, seed: int = 21,
+              step_time_s: float = 1.0,
+              total_time_s: float = 2.0) -> Fig1bResult:
+    """Load-step response (Fig. 1b).
+
+    StaticOracle is tuned for the pre-step (30%) load, as a feedback
+    controller would have settled there; Rubik adapts by itself.
+    """
+    app = MASSTREE
+    context = make_context(app, seed, num_requests)
+    schedule = LoadSchedule.from_loads(
+        [(0.0, 0.3), (step_time_s, 0.5)], app.saturation_qps)
+    trace = Trace.generate(app, schedule, num_requests, seed)
+
+    # StaticOracle tuned on a 30%-only trace of the same length.
+    pre_step = Trace.generate_at_load(app, 0.3, num_requests, seed)
+    static = StaticOracle()
+    static.tune(pre_step, context)
+    static_run = run_trace(trace, static, context)
+
+    rubik = Rubik()
+    rubik_run = run_trace(trace, rubik, context)
+
+    def tail_series(run) -> Tuple[np.ndarray, np.ndarray]:
+        finish = np.array([r.finish_time for r in run.requests])
+        lats = np.array([r.response_time for r in run.requests])
+        keep = finish <= total_time_s
+        return windowed_series(finish[keep], lats[keep],
+                               window_s=0.2, step_s=0.05)
+
+    st, sv = tail_series(static_run)
+    rt, rv = tail_series(rubik_run)
+    freq_t = np.array([t for t, _ in rubik_run.freq_history])
+    freq_f = np.array([f for _, f in rubik_run.freq_history])
+    keep = freq_t <= total_time_s
+    return Fig1bResult(
+        window_times=st,
+        static_tail_ms=sv * 1e3,
+        rubik_window_times=rt,
+        rubik_tail_ms=rv * 1e3,
+        freq_times=freq_t[keep],
+        freq_ghz=freq_f[keep] / 1e9,
+        bound_ms=context.latency_bound_s * 1e3,
+    )
+
+
+def main(num_requests: Optional[int] = None) -> str:
+    """Run both panels and return the formatted report."""
+    parts = [run_fig1a(num_requests).table(),
+             run_fig1b(num_requests or 6000).table()]
+    report = "\n\n".join(parts)
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,166 @@
+"""Fig. 2 — short-term variability analysis of LC workloads (paper Sec. 3).
+
+(a) CDF of instantaneous QPS over rolling 5 ms windows, per app.
+(b) masstree execution trace: QPS, service times, queue lengths, and
+    response times over time.
+(c) Normalized tail latency (tail / 95th-pct service time) vs load.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import empirical_cdf
+from repro.analysis.tables import render_series, render_table
+from repro.analysis.windows import instantaneous_qps, windowed_series
+from repro.config import NOMINAL_FREQUENCY_HZ
+from repro.schemes.replay import lindley_finish_times, replay
+from repro.sim.trace import Trace
+from repro.workloads.apps import APPS, app_names
+
+DEFAULT_LOAD = 0.5
+LOAD_SWEEP = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
+
+
+@dataclasses.dataclass
+class Fig2aResult:
+    """Normalized instantaneous-QPS CDF quantiles per app."""
+
+    quantiles: Tuple[float, ...]
+    per_app: Dict[str, List[float]]
+
+    def table(self) -> str:
+        rows = [
+            [name] + vals for name, vals in self.per_app.items()
+        ]
+        headers = ["App"] + [f"p{int(q)}" for q in self.quantiles]
+        return render_table(
+            headers, rows, float_fmt=".2f",
+            title="Fig. 2a: normalized instantaneous QPS "
+                  "(5 ms windows; quantiles of CDF)")
+
+
+def run_fig2a(num_requests: Optional[int] = None, seed: int = 21,
+              load: float = DEFAULT_LOAD,
+              quantiles: Tuple[float, ...] = (10, 50, 90, 99),
+              ) -> Fig2aResult:
+    """Instantaneous-load CDFs (Fig. 2a)."""
+    per_app: Dict[str, List[float]] = {}
+    for name in app_names():
+        app = APPS[name]
+        trace = Trace.generate_at_load(app, load, num_requests, seed)
+        qps = instantaneous_qps(trace.arrivals, window_s=5e-3)
+        mean_rate = len(trace) / trace.duration()
+        normalized = qps / mean_rate
+        per_app[name] = [float(np.percentile(normalized, q))
+                         for q in quantiles]
+    return Fig2aResult(quantiles, per_app)
+
+
+@dataclasses.dataclass
+class Fig2bResult:
+    """masstree execution-trace series (1-per-window reductions)."""
+
+    times: np.ndarray
+    qps: np.ndarray
+    service_ms: np.ndarray
+    queue_len: np.ndarray
+    response_ms: np.ndarray
+
+    def table(self) -> str:
+        lines = ["Fig. 2b: masstree execution trace (250 ms windows)"]
+        lines.append(render_series("QPS", self.times, self.qps))
+        lines.append(render_series("mean service (ms)", self.times,
+                                   self.service_ms))
+        lines.append(render_series("mean queue len", self.times,
+                                   self.queue_len))
+        lines.append(render_series("p95 response (ms)", self.times,
+                                   self.response_ms))
+        return "\n".join(lines)
+
+
+def run_fig2b(num_requests: Optional[int] = None, seed: int = 21,
+              load: float = DEFAULT_LOAD,
+              window_s: float = 0.25) -> Fig2bResult:
+    """masstree trace panels (Fig. 2b), from a nominal-frequency replay."""
+    app = APPS["masstree"]
+    trace = Trace.generate_at_load(app, load, num_requests, seed)
+    rep = replay(trace, NOMINAL_FREQUENCY_HZ)
+    queue = queue_length_at_arrivals(trace.arrivals, rep.response_times)
+
+    t_qps, qps = windowed_series(
+        trace.arrivals, np.ones(len(trace)), window_s,
+        reducer=lambda chunk: len(chunk) / window_s)
+    t_svc, svc = windowed_series(
+        trace.arrivals, rep.service_times, window_s, reducer=np.mean)
+    t_q, q = windowed_series(
+        trace.arrivals, queue.astype(float), window_s, reducer=np.mean)
+    t_resp, resp = windowed_series(
+        trace.arrivals, rep.response_times, window_s)
+    # All series share window boundaries because they share timestamps.
+    return Fig2bResult(times=t_qps, qps=qps, service_ms=svc * 1e3,
+                       queue_len=q, response_ms=resp * 1e3)
+
+
+def queue_length_at_arrivals(arrivals: np.ndarray,
+                             response_times: np.ndarray) -> np.ndarray:
+    """Number of requests in the system seen by each arrival (FIFO)."""
+    finish = arrivals + response_times
+    n = len(arrivals)
+    queue = np.empty(n, dtype=int)
+    for i in range(n):
+        # Requests ahead that have not finished by this arrival. FIFO
+        # finish times are nondecreasing, so search the prefix.
+        lo = np.searchsorted(finish[:i], arrivals[i], side="right")
+        queue[i] = i - lo
+    return queue
+
+
+@dataclasses.dataclass
+class Fig2cResult:
+    """Normalized tail latency vs load, per app."""
+
+    loads: Tuple[float, ...]
+    per_app: Dict[str, List[float]]
+
+    def table(self) -> str:
+        headers = ["App"] + [f"{ld:.0%}" for ld in self.loads]
+        rows = [[name] + vals for name, vals in self.per_app.items()]
+        return render_table(
+            headers, rows, float_fmt=".2f",
+            title="Fig. 2c: tail latency normalized to 95th-pct service "
+                  "time, vs load")
+
+
+def run_fig2c(num_requests: Optional[int] = None, seed: int = 21,
+              loads: Tuple[float, ...] = LOAD_SWEEP) -> Fig2cResult:
+    """Normalized tail latency vs load (Fig. 2c)."""
+    per_app: Dict[str, List[float]] = {}
+    for name in app_names():
+        app = APPS[name]
+        vals = []
+        for load in loads:
+            trace = Trace.generate_at_load(app, load, num_requests, seed)
+            rep = replay(trace, NOMINAL_FREQUENCY_HZ)
+            svc95 = float(np.percentile(rep.service_times, 95))
+            vals.append(rep.tail_latency() / svc95)
+        per_app[name] = vals
+    return Fig2cResult(loads, per_app)
+
+
+def main(num_requests: Optional[int] = None) -> str:
+    parts = [
+        run_fig2a(num_requests).table(),
+        run_fig2b(num_requests).table(),
+        run_fig2c(num_requests).table(),
+    ]
+    report = "\n\n".join(parts)
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

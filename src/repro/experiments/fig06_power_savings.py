@@ -1,0 +1,78 @@
+"""Fig. 6 — core power savings of StaticOracle, AdrenalineOracle, and
+Rubik at 30/40/50% load for all five apps, plus the mean (paper Sec. 5.2).
+
+Savings are relative to the fixed-frequency scheme at the same load.
+Expected shape: Rubik best everywhere (paper: up to 66%, 37% average at
+low load); at 50% load StaticOracle saves nothing, AdrenalineOracle saves
+little, Rubik still saves (paper: 15% average, up to 28%).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.experiments.common import DEFAULT_EVAL_SEEDS, compare_schemes
+from repro.workloads.apps import APPS, app_names
+
+LOADS = (0.3, 0.4, 0.5)
+SCHEMES = ("StaticOracle", "AdrenalineOracle", "Rubik")
+
+
+@dataclasses.dataclass
+class Fig6Result:
+    """savings[app][load][scheme] plus cross-app means."""
+
+    savings: Dict[str, Dict[float, Dict[str, float]]]
+    loads: Tuple[float, ...] = LOADS
+
+    def mean_savings(self, load: float, scheme: str) -> float:
+        return float(np.mean(
+            [self.savings[a][load][scheme] for a in self.savings]))
+
+    def table(self) -> str:
+        headers = ["App", "Load"] + [s for s in SCHEMES]
+        rows = []
+        for app in self.savings:
+            for load in self.loads:
+                cell = self.savings[app][load]
+                rows.append([app, f"{load:.0%}"]
+                            + [cell[s] * 100 for s in SCHEMES])
+        for load in self.loads:
+            rows.append(["mean", f"{load:.0%}"]
+                        + [self.mean_savings(load, s) * 100 for s in SCHEMES])
+        return render_table(
+            headers, rows, float_fmt=".1f",
+            title="Fig. 6: core power savings (%) vs fixed-frequency")
+
+
+def run_fig6(
+    num_requests: Optional[int] = None,
+    seeds: Sequence[int] = DEFAULT_EVAL_SEEDS,
+    loads: Tuple[float, ...] = LOADS,
+    apps: Optional[Sequence[str]] = None,
+) -> Fig6Result:
+    """Compute the full savings matrix."""
+    savings: Dict[str, Dict[float, Dict[str, float]]] = {}
+    for name in (apps or app_names()):
+        app = APPS[name]
+        savings[name] = {}
+        for load in loads:
+            points = compare_schemes(app, load, seeds, num_requests,
+                                     include=SCHEMES)
+            savings[name][load] = {
+                s: points[s].power_savings for s in SCHEMES}
+    return Fig6Result(savings, loads)
+
+
+def main(num_requests: Optional[int] = None) -> str:
+    report = run_fig6(num_requests).table()
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Figs. 7 and 8 — response-latency CDFs and frequency histograms for
+masstree (Fig. 7) and xapian (Fig. 8) at 50% load (paper Sec. 5.2).
+
+Expected shape: all schemes meet the tail bound; Rubik shifts the *low*
+end of the CDF right (short requests are served slowly to save power)
+while pinning the tail at the bound, and spends most busy time at low
+frequencies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.tables import render_series, render_table
+from repro.core.controller import Rubik
+from repro.experiments.common import make_context, training_traces
+from repro.schemes.adrenaline import AdrenalineOracle
+from repro.schemes.static_oracle import StaticOracle
+from repro.sim.server import run_trace
+from repro.sim.trace import Trace
+from repro.workloads.apps import APPS
+
+LOAD = 0.5
+CDF_PERCENTILES = (5, 25, 50, 75, 90, 95, 99)
+
+
+@dataclasses.dataclass
+class CdfAndHistResult:
+    """One app's latency CDF quantiles per scheme + Rubik's freq histogram."""
+
+    app: str
+    bound_ms: float
+    cdf_quantiles_ms: Dict[str, List[float]]
+    rubik_freq_hist: Dict[float, float]
+
+    def table(self) -> str:
+        headers = ["Scheme"] + [f"p{p}" for p in CDF_PERCENTILES]
+        rows = [[scheme] + vals
+                for scheme, vals in self.cdf_quantiles_ms.items()]
+        cdf = render_table(
+            headers, rows, float_fmt=".3f",
+            title=f"Fig. 7a/8a ({self.app}): response-latency quantiles "
+                  f"(ms), bound={self.bound_ms:.3f} ms")
+        freqs = sorted(self.rubik_freq_hist)
+        hist = render_series(
+            f"Fig. 7b/8b ({self.app}): Rubik busy-time fraction vs GHz",
+            [f / 1e9 for f in freqs],
+            [self.rubik_freq_hist[f] for f in freqs])
+        return cdf + "\n" + hist
+
+
+def run_cdf_experiment(app_name: str, num_requests: Optional[int] = None,
+                       seed: int = 21, load: float = LOAD) -> CdfAndHistResult:
+    """Latency CDFs for StaticOracle/AdrenalineOracle/Rubik + Rubik's
+    frequency histogram, for one app at 50% load."""
+    app = APPS[app_name]
+    context = make_context(app, seed, num_requests)
+    trace = Trace.generate_at_load(app, load, num_requests, seed)
+
+    static_res = StaticOracle().evaluate(trace, context)
+    tr_traces, tr_bounds = training_traces(app, load, seed, num_requests)
+    adren_res = AdrenalineOracle().evaluate(trace, context,
+                                            tr_traces, tr_bounds)
+    rubik_run = run_trace(trace, Rubik(), context)
+
+    def quantiles(lats: np.ndarray) -> List[float]:
+        return [float(np.percentile(lats, p)) * 1e3
+                for p in CDF_PERCENTILES]
+
+    return CdfAndHistResult(
+        app=app_name,
+        bound_ms=context.latency_bound_s * 1e3,
+        cdf_quantiles_ms={
+            "StaticOracle": quantiles(static_res.response_times),
+            "AdrenalineOracle": quantiles(adren_res.response_times),
+            "Rubik": quantiles(rubik_run.response_times()),
+        },
+        rubik_freq_hist=rubik_run.busy_freq_hist,
+    )
+
+
+def run_fig7(num_requests: Optional[int] = None,
+             seed: int = 21) -> CdfAndHistResult:
+    """Fig. 7: masstree."""
+    return run_cdf_experiment("masstree", num_requests, seed)
+
+
+def run_fig8(num_requests: Optional[int] = None,
+             seed: int = 21) -> CdfAndHistResult:
+    """Fig. 8: xapian."""
+    return run_cdf_experiment("xapian", num_requests, seed)
+
+
+def main(num_requests: Optional[int] = None) -> str:
+    report = "\n\n".join([
+        run_fig7(num_requests).table(),
+        run_fig8(num_requests).table(),
+    ])
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

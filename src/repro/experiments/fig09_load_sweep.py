@@ -1,0 +1,114 @@
+"""Fig. 9 — trace-driven load sweeps (paper Sec. 5.3).
+
+For each app and load in 10%..90%:
+
+(a) 95th-percentile tail latency under Fixed-frequency, StaticOracle,
+    DynamicOracle, Rubik without feedback, and Rubik.
+(b) Core energy per request for the same schemes.
+
+Expected shape: adaptive schemes produce a flat tail-latency curve up to
+~50% load (the bound), then track the minimum achievable tail (shaded
+region in the paper); DynamicOracle lower-bounds energy; Rubik tracks it
+closely for tightly-clustered apps and conservatively for variable ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.config import NOMINAL_FREQUENCY_HZ
+from repro.core.controller import Rubik
+from repro.experiments.common import make_context
+from repro.schemes.dynamic_oracle import evaluate_dynamic_oracle
+from repro.schemes.replay import replay
+from repro.schemes.static_oracle import StaticOracle
+from repro.sim.server import run_trace
+from repro.sim.trace import Trace
+from repro.workloads.apps import APPS, app_names
+
+DEFAULT_LOADS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+SCHEMES = ("Fixed", "StaticOracle", "DynamicOracle",
+           "Rubik (No Feedback)", "Rubik")
+
+
+@dataclasses.dataclass
+class LoadSweepResult:
+    """Per-scheme (tail ms, energy mJ/req) series for one app."""
+
+    app: str
+    loads: Tuple[float, ...]
+    bound_ms: float
+    tail_ms: Dict[str, List[float]]
+    energy_mj: Dict[str, List[float]]
+
+    def table(self) -> str:
+        headers = ["Scheme"] + [f"{ld:.0%}" for ld in self.loads]
+        tail_rows = [[s] + self.tail_ms[s] for s in SCHEMES]
+        energy_rows = [[s] + self.energy_mj[s] for s in SCHEMES]
+        return "\n".join([
+            render_table(headers, tail_rows, float_fmt=".3f",
+                         title=f"Fig. 9a ({self.app}): tail latency (ms), "
+                               f"bound={self.bound_ms:.3f} ms"),
+            render_table(headers, energy_rows, float_fmt=".3f",
+                         title=f"Fig. 9b ({self.app}): core energy "
+                               "(mJ/request)"),
+        ])
+
+
+def run_load_sweep(app_name: str,
+                   loads: Sequence[float] = DEFAULT_LOADS,
+                   num_requests: Optional[int] = None,
+                   seed: int = 21,
+                   dynamic_oracle_rounds: int = 8) -> LoadSweepResult:
+    """Sweep one app across loads under all five schemes."""
+    app = APPS[app_name]
+    context = make_context(app, seed, num_requests)
+    tail_ms: Dict[str, List[float]] = {s: [] for s in SCHEMES}
+    energy_mj: Dict[str, List[float]] = {s: [] for s in SCHEMES}
+    for load in loads:
+        trace = Trace.generate_at_load(app, load, num_requests, seed)
+        results = {
+            "Fixed": replay(trace, NOMINAL_FREQUENCY_HZ),
+            "StaticOracle": StaticOracle().evaluate(trace, context),
+            "DynamicOracle": evaluate_dynamic_oracle(
+                trace, context, max_rounds=dynamic_oracle_rounds),
+            "Rubik (No Feedback)": run_trace(
+                trace, Rubik(feedback=False), context),
+            "Rubik": run_trace(trace, Rubik(), context),
+        }
+        for scheme, res in results.items():
+            tail_ms[scheme].append(res.tail_latency() * 1e3)
+            energy_mj[scheme].append(res.energy_per_request_j * 1e3)
+    return LoadSweepResult(
+        app=app_name,
+        loads=tuple(loads),
+        bound_ms=context.latency_bound_s * 1e3,
+        tail_ms=tail_ms,
+        energy_mj=energy_mj,
+    )
+
+
+def run_fig9(apps: Optional[Sequence[str]] = None,
+             loads: Sequence[float] = DEFAULT_LOADS,
+             num_requests: Optional[int] = None,
+             seed: int = 21) -> Dict[str, LoadSweepResult]:
+    """Full Fig. 9 matrix (all apps)."""
+    return {
+        name: run_load_sweep(name, loads, num_requests, seed)
+        for name in (apps or app_names())
+    }
+
+
+def main(num_requests: Optional[int] = None) -> str:
+    results = run_fig9(num_requests=num_requests)
+    report = "\n\n".join(r.table() for r in results.values())
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

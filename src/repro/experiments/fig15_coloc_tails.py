@@ -1,0 +1,106 @@
+"""Fig. 15 — impact of colocation on tail latencies (paper Sec. 7.1).
+
+Latency-critical apps run at 60% load colocated with batch mixes; each
+(LC app, batch mix) pair is one colocated server. For each colocation
+scheme, the distribution of normalized tail latencies (tail / bound)
+across all pairs is reported, sorted worst-first as in the paper.
+
+Expected shape: HW-T and HW-TPW grossly violate tails (paper: up to 8.2x
+and 3.2x); StaticColoc violates for a substantial fraction of mixes (up
+to 1.42x); RubikColoc holds the bound for every mix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.coloc.batch import generate_mixes
+from repro.coloc.server import COLOC_SCHEME_NAMES, run_colocated_server
+from repro.experiments.common import make_context
+from repro.workloads.apps import APPS, app_names
+
+LC_LOAD = 0.6
+
+
+@dataclasses.dataclass
+class Fig15Result:
+    """Normalized tails per scheme across all (app, mix) pairs."""
+
+    normalized_tails: Dict[str, np.ndarray]  # sorted descending
+
+    def worst(self, scheme: str) -> float:
+        return float(self.normalized_tails[scheme][0])
+
+    def violation_fraction(self, scheme: str) -> float:
+        """Fraction of pairs whose tail exceeds the bound by >5%.
+
+        Schemes that hold the tail *at* the bound sit within a few
+        percent of 1.0 by construction (the 95th percentile rides the
+        target); the 5% margin separates real degradations (StaticColoc's
+        up-to-42%, HW governors' multiples) from estimator noise.
+        """
+        return float(np.mean(self.normalized_tails[scheme] > 1.05))
+
+    def table(self) -> str:
+        rows = []
+        for scheme, tails in self.normalized_tails.items():
+            rows.append((
+                scheme,
+                self.worst(scheme),
+                float(np.median(tails)),
+                self.violation_fraction(scheme) * 100,
+            ))
+        return render_table(
+            ("Scheme", "Worst tail (xBound)", "Median", "% mixes violating"),
+            rows, float_fmt=".2f",
+            title="Fig. 15: colocation tail latency at 60% LC load")
+
+
+def run_fig15(
+    num_mixes: int = 20,
+    apps: Optional[Sequence[str]] = None,
+    requests_per_core: Optional[int] = None,
+    seed: int = 5,
+    schemes: Sequence[str] = COLOC_SCHEME_NAMES,
+) -> Fig15Result:
+    """Evaluate all colocation schemes across (app, mix) pairs.
+
+    ``num_mixes=20`` with all 5 apps gives the paper's 100 pairs; smaller
+    values sub-sample for quick runs. ``requests_per_core`` defaults to
+    the app's paper request count split across cores (Table 3) — tail
+    estimates for heavy-tailed apps (specjbb) need those run lengths.
+    """
+    mixes = generate_mixes(num_mixes=num_mixes, seed=0)
+    tails: Dict[str, List[float]] = {s: [] for s in schemes}
+    for name in (apps or app_names()):
+        app = APPS[name]
+        per_core = requests_per_core
+        if per_core is None:
+            per_core = max(800, app.num_requests // 6)
+        context = make_context(app, seed, per_core * 2)
+        bound = context.latency_bound_s
+        for mix in mixes:
+            for scheme in schemes:
+                result = run_colocated_server(
+                    app, LC_LOAD, mix, scheme, context, seed=seed,
+                    requests_per_core=per_core)
+                tails[scheme].append(result.tail_latency() / bound)
+    return Fig15Result({
+        s: np.sort(np.asarray(v))[::-1] for s, v in tails.items()
+    })
+
+
+def main(num_mixes: int = 20,
+         requests_per_core: Optional[int] = None) -> str:
+    report = run_fig15(num_mixes=num_mixes,
+                       requests_per_core=requests_per_core).table()
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

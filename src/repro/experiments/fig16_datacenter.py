@@ -1,0 +1,80 @@
+"""Fig. 16 — datacenter power and server count vs LC load (paper
+Sec. 7.2).
+
+A RubikColoc-colocated datacenter vs the segregated baseline, sweeping LC
+load 10%..60%. Both values are normalized to the segregated datacenter at
+60% load, as in the paper.
+
+Expected shape: colocation saves power and servers at every load, with
+the advantage growing as LC load falls (paper: at 10% load, 31% less
+power and 41% fewer servers than the segregated datacenter at the same
+load).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import render_table
+from repro.coloc.datacenter import DatacenterComparison, compare_datacenters
+
+LC_LOADS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
+
+
+@dataclasses.dataclass
+class Fig16Result:
+    """Normalized power/server curves for both datacenters."""
+
+    loads: Tuple[float, ...]
+    comparisons: List[DatacenterComparison]
+
+    def _norm(self) -> Tuple[float, float]:
+        ref = self.comparisons[-1].segregated  # segregated @ highest load
+        return ref.total_power_w, ref.total_servers
+
+    def table(self) -> str:
+        ref_power, ref_servers = self._norm()
+        rows = []
+        for load, comp in zip(self.loads, self.comparisons):
+            rows.append((
+                f"{load:.0%}",
+                comp.segregated.total_power_w / ref_power,
+                comp.colocated.total_power_w / ref_power,
+                comp.segregated.total_servers / ref_servers,
+                comp.colocated.total_servers / ref_servers,
+                comp.power_reduction * 100,
+                comp.server_reduction * 100,
+            ))
+        return render_table(
+            ("LC load", "Seg power", "Coloc power", "Seg servers",
+             "Coloc servers", "Power red. %", "Server red. %"),
+            rows, float_fmt=".2f",
+            title="Fig. 16: datacenter power & servers "
+                  "(normalized to segregated @60%)")
+
+
+def run_fig16(
+    loads: Sequence[float] = LC_LOADS,
+    num_mixes: int = 3,
+    requests_per_core: int = 800,
+    seed: int = 21,
+) -> Fig16Result:
+    """Sweep LC load and compare datacenters at each point."""
+    comparisons = [
+        compare_datacenters(load, seed=seed, num_mixes=num_mixes,
+                            requests_per_core=requests_per_core)
+        for load in loads
+    ]
+    return Fig16Result(tuple(loads), comparisons)
+
+
+def main(num_mixes: int = 3, requests_per_core: int = 800) -> str:
+    report = run_fig16(num_mixes=num_mixes,
+                       requests_per_core=requests_per_core).table()
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

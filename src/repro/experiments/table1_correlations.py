@@ -1,0 +1,79 @@
+"""Table 1 — Pearson correlations of response latency with service time,
+instantaneous QPS, and queue length (paper Sec. 3).
+
+The paper's table shows queue length is by far the best predictor of
+response latency (0.63--0.94 across apps), service time matters only for
+variable-service apps (shore, xapian), and instantaneous QPS is weak.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import pearson
+from repro.analysis.tables import render_table
+from repro.analysis.windows import instantaneous_qps
+from repro.config import NOMINAL_FREQUENCY_HZ
+from repro.experiments.fig02_variability import queue_length_at_arrivals
+from repro.schemes.replay import replay
+from repro.sim.trace import Trace
+from repro.workloads.apps import APPS, app_names
+
+#: Paper Table 1 values, for side-by-side comparison in the report.
+PAPER_TABLE1: Dict[str, Tuple[float, float, float]] = {
+    "masstree": (0.03, 0.09, 0.94),
+    "moses": (0.08, 0.40, 0.93),
+    "specjbb": (0.40, 0.08, 0.66),
+    "shore": (0.56, 0.17, 0.63),
+    "xapian": (0.50, 0.32, 0.75),
+}
+
+
+@dataclasses.dataclass
+class Table1Result:
+    """Correlations per app: (service time, instantaneous QPS, queue)."""
+
+    per_app: Dict[str, Tuple[float, float, float]]
+
+    def table(self) -> str:
+        rows = []
+        for name, (svc, qps, queue) in self.per_app.items():
+            paper = PAPER_TABLE1[name]
+            rows.append((name, svc, qps, queue,
+                         f"({paper[0]:.2f}/{paper[1]:.2f}/{paper[2]:.2f})"))
+        return render_table(
+            ("App", "ServiceTime", "InstQPS", "QueueLen", "paper(s/q/l)"),
+            rows, float_fmt=".2f",
+            title="Table 1: Pearson correlation of response latency")
+
+
+def run_table1(num_requests: Optional[int] = None, seed: int = 21,
+               load: float = 0.5) -> Table1Result:
+    """Compute the correlation table at the paper's operating point."""
+    per_app: Dict[str, Tuple[float, float, float]] = {}
+    for name in app_names():
+        app = APPS[name]
+        trace = Trace.generate_at_load(app, load, num_requests, seed)
+        rep = replay(trace, NOMINAL_FREQUENCY_HZ)
+        qps = instantaneous_qps(trace.arrivals, window_s=5e-3,
+                                anchor="arrivals")
+        queue = queue_length_at_arrivals(trace.arrivals, rep.response_times)
+        per_app[name] = (
+            pearson(rep.service_times, rep.response_times),
+            pearson(qps, rep.response_times),
+            pearson(queue.astype(float), rep.response_times),
+        )
+    return Table1Result(per_app)
+
+
+def main(num_requests: Optional[int] = None) -> str:
+    report = run_table1(num_requests).table()
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

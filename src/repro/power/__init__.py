@@ -1,0 +1,18 @@
+"""Analytical power models and energy metering (paper Sec. 5.1)."""
+
+from repro.power.energy import EnergyMeter
+from repro.power.model import (
+    CorePowerModel,
+    CoreState,
+    DEFAULT_CORE_POWER,
+    DEFAULT_SYSTEM_POWER,
+    PlatformPowerModel,
+    SystemPowerModel,
+    VoltageFrequencyCurve,
+)
+
+__all__ = [
+    "CorePowerModel", "CoreState", "DEFAULT_CORE_POWER",
+    "DEFAULT_SYSTEM_POWER", "EnergyMeter", "PlatformPowerModel",
+    "SystemPowerModel", "VoltageFrequencyCurve",
+]

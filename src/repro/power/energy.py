@@ -1,0 +1,89 @@
+"""Energy accounting over simulation runs.
+
+:class:`EnergyMeter` accumulates per-core energy from (duration, state,
+frequency) segments reported by the core model, and keeps the residency
+bookkeeping needed by the paper's figures:
+
+* total/active/idle energy (load-energy diagrams, Fig. 9b),
+* busy time (server utilization, Figs. 12 and 16),
+* time per frequency step (frequency histograms, Figs. 7b and 8b).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+from repro.power.model import CorePowerModel, CoreState
+
+
+class EnergyMeter:
+    """Integrates core power over piecewise-constant segments."""
+
+    def __init__(self, model: CorePowerModel) -> None:
+        self.model = model
+        self.energy_j = 0.0
+        self.active_energy_j = 0.0
+        self.batch_energy_j = 0.0
+        self.idle_energy_j = 0.0
+        self.total_time_s = 0.0
+        self.busy_time_s = 0.0
+        self.batch_time_s = 0.0
+        self._freq_residency: Dict[float, float] = defaultdict(float)
+        self._busy_freq_residency: Dict[float, float] = defaultdict(float)
+
+    def record(self, duration_s: float, state: CoreState, freq_hz: float,
+               mem_stall_frac: float = 0.0) -> float:
+        """Account for ``duration_s`` seconds in ``state`` at ``freq_hz``.
+
+        Returns the energy of the segment (joules).
+        """
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        if duration_s == 0:
+            return 0.0
+        power = self.model.power(state, freq_hz, mem_stall_frac)
+        energy = power * duration_s
+        self.energy_j += energy
+        self.total_time_s += duration_s
+        self._freq_residency[freq_hz] += duration_s
+        if state is CoreState.BUSY:
+            self.active_energy_j += energy
+            self.busy_time_s += duration_s
+            self._busy_freq_residency[freq_hz] += duration_s
+        elif state is CoreState.BATCH:
+            self.batch_energy_j += energy
+            self.batch_time_s += duration_s
+        else:
+            self.idle_energy_j += energy
+        return energy
+
+    @property
+    def mean_power_w(self) -> float:
+        """Time-averaged core power over the whole run."""
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.energy_j / self.total_time_s
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of time serving latency-critical work."""
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.busy_time_s / self.total_time_s
+
+    def busy_frequency_histogram(self) -> Dict[float, float]:
+        """Fraction of *busy* time at each frequency (Figs. 7b, 8b)."""
+        total = sum(self._busy_freq_residency.values())
+        if total <= 0:
+            return {}
+        return {f: t / total for f, t in sorted(self._busy_freq_residency.items())}
+
+    def frequency_histogram(self) -> Dict[float, float]:
+        """Fraction of total time at each frequency."""
+        if self.total_time_s <= 0:
+            return {}
+        return {
+            f: t / self.total_time_s
+            for f, t in sorted(self._freq_residency.items())
+        }

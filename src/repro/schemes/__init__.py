@@ -1,0 +1,16 @@
+"""DVFS schemes: the fixed-frequency baseline, the paper's oracles, a
+Pegasus-style feedback controller, and the scheme/replay plumbing."""
+
+from repro.schemes.adrenaline import AdrenalineOracle
+from repro.schemes.base import Scheme, SchemeContext
+from repro.schemes.dynamic_oracle import evaluate_dynamic_oracle
+from repro.schemes.fixed import FixedFrequency
+from repro.schemes.pegasus import Pegasus
+from repro.schemes.replay import ReplayResult, replay
+from repro.schemes.static_oracle import StaticOracle
+
+__all__ = [
+    "AdrenalineOracle", "FixedFrequency", "Pegasus", "ReplayResult",
+    "Scheme", "SchemeContext", "StaticOracle", "evaluate_dynamic_oracle",
+    "replay",
+]

@@ -1,0 +1,192 @@
+"""AdrenalineOracle (paper Sec. 5.2, idealized version of Adrenaline
+[Hsu et al., HPCA 2015]).
+
+Adrenaline's intuition: long requests are the likely tail contributors, so
+boost *them* to a higher frequency and run short requests slow. The paper
+evaluates an oracular variant that (a) perfectly distinguishes long from
+short requests at arrival (real Adrenaline needs application-level hints)
+and (b) tunes the long/short threshold and the two frequency settings
+offline per application and load, picking the most efficient feasible
+combination.
+
+This module reproduces that offline search: sweep threshold quantiles of
+the service-demand distribution and all (f_short <= f_boost) pairs on the
+DVFS grid, evaluate each by analytic replay, and keep the lowest-energy
+setting whose tail meets the bound. Queuing is never modeled explicitly —
+exactly the limitation the paper highlights (Sec. 2.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.schemes.base import Scheme, SchemeContext
+from repro.schemes.replay import ReplayResult, replay
+from repro.sim.core import Core
+from repro.sim.request import Request
+from repro.sim.trace import Trace
+
+#: Threshold candidates, as quantiles of per-request service demand.
+DEFAULT_THRESHOLD_QUANTILES = (0.5, 0.6, 0.7, 0.8, 0.9, 0.95)
+
+
+@dataclasses.dataclass(frozen=True)
+class AdrenalineSetting:
+    """A tuned operating point."""
+
+    threshold_cycles: float
+    f_short_hz: float
+    f_boost_hz: float
+    energy_per_request_j: float
+    tail_latency_s: float
+
+
+def _classify(trace: Trace, threshold_cycles: float) -> np.ndarray:
+    """Boolean mask of boosted (long) requests.
+
+    Classification uses the *hint-based prediction* available at arrival
+    (``trace.predicted_cycles``): for hint-friendly apps this equals the
+    true demand (the paper's "perfectly distinguish" oracle); for apps
+    whose variability is invisible to hints (e.g. specjbb's JIT/GC
+    effects) the prediction is noisy and boosting misfires — the paper's
+    "not all applications are amenable to hints" (Secs. 2.2 and 3).
+    """
+    return trace.predicted_cycles >= threshold_cycles
+
+
+def tune_adrenaline(
+    traces: Sequence[Trace],
+    context: SchemeContext,
+    threshold_quantiles: Sequence[float] = DEFAULT_THRESHOLD_QUANTILES,
+    bounds_s: Optional[Sequence[float]] = None,
+) -> AdrenalineSetting:
+    """Offline search for the best feasible (threshold, f_short, f_boost).
+
+    Feasible = replay tail within the bound on *every* training trace
+    (the paper's settings come from an offline training phase and must
+    hold across runs); best = lowest mean busy energy. Falls back to
+    everything-at-max when nothing is feasible (high load).
+
+    Args:
+        traces: training traces.
+        context: carries the default latency bound.
+        threshold_quantiles: candidate long/short split points.
+        bounds_s: optional per-training-trace bounds (when each trace's
+            bound is defined by the same methodology on its own seed).
+    """
+    if not traces:
+        raise ValueError("need at least one training trace")
+    if bounds_s is None:
+        bounds_s = [context.latency_bound_s] * len(traces)
+    if len(bounds_s) != len(traces):
+        raise ValueError("bounds_s must match traces")
+    pct = context.tail_percentile
+    grid = context.dvfs.frequencies
+    best: Optional[AdrenalineSetting] = None
+
+    for q in threshold_quantiles:
+        threshold = float(np.quantile(traces[0].predicted_cycles, q))
+        for bi, f_boost in enumerate(grid):
+            for f_short in grid[: bi + 1]:
+                results = []
+                feasible = True
+                for trace, bound in zip(traces, bounds_s):
+                    boosted = _classify(trace, threshold)
+                    freqs = np.where(boosted, f_boost, f_short)
+                    result = replay(trace, freqs)
+                    if result.tail_latency(pct) > bound:
+                        feasible = False
+                        break
+                    results.append(result)
+                if not feasible:
+                    continue
+                energy = float(np.mean(
+                    [r.energy_per_request_j for r in results]))
+                tail = float(np.max([r.tail_latency(pct) for r in results]))
+                candidate = AdrenalineSetting(
+                    threshold_cycles=threshold,
+                    f_short_hz=float(f_short),
+                    f_boost_hz=float(f_boost),
+                    energy_per_request_j=energy,
+                    tail_latency_s=tail,
+                )
+                if best is None or (candidate.energy_per_request_j
+                                    < best.energy_per_request_j):
+                    best = candidate
+                break  # larger f_short only costs more at this f_boost
+
+    if best is None:
+        f_max = context.dvfs.max_hz
+        result = replay(traces[0], f_max)
+        best = AdrenalineSetting(
+            threshold_cycles=0.0,
+            f_short_hz=f_max,
+            f_boost_hz=f_max,
+            energy_per_request_j=result.energy_per_request_j,
+            tail_latency_s=result.tail_latency(pct),
+        )
+    return best
+
+
+class AdrenalineOracle(Scheme):
+    """Per-request two-level DVFS with oracular request classification."""
+
+    name = "AdrenalineOracle"
+
+    def __init__(self) -> None:
+        self.setting: Optional[AdrenalineSetting] = None
+
+    def tune(self, traces: Sequence[Trace], context: SchemeContext,
+             threshold_quantiles: Sequence[float] = DEFAULT_THRESHOLD_QUANTILES,
+             bounds_s: Optional[Sequence[float]] = None,
+             ) -> AdrenalineSetting:
+        """Run the offline search on training ``traces``."""
+        self.setting = tune_adrenaline(
+            traces, context, threshold_quantiles, bounds_s)
+        return self.setting
+
+    def evaluate(self, trace: Trace, context: SchemeContext,
+                 training_traces: Optional[Sequence[Trace]] = None,
+                 training_bounds_s: Optional[Sequence[float]] = None,
+                 ) -> ReplayResult:
+        """Tune (on ``training_traces``, default: the eval trace itself,
+        which is the most oracular variant) and replay ``trace``."""
+        setting = self.tune(training_traces or [trace], context,
+                            bounds_s=training_bounds_s)
+        boosted = _classify(trace, setting.threshold_cycles)
+        freqs = np.where(boosted, setting.f_boost_hz, setting.f_short_hz)
+        return replay(trace, freqs)
+
+    # Event-driven operation (used when mixed with DVFS-lag simulation):
+    # set frequency per request at service start, oracularly.
+    def initial_frequency(self) -> float:
+        if self.setting is None:
+            raise RuntimeError("AdrenalineOracle must be tuned before running")
+        return self.setting.f_short_hz
+
+    def _frequency_for(self, request: Request) -> float:
+        assert self.setting is not None
+        predicted = (request.predicted_cycles
+                     if request.predicted_cycles is not None
+                     else request.compute_cycles)
+        if predicted >= self.setting.threshold_cycles:
+            return self.setting.f_boost_hz
+        return self.setting.f_short_hz
+
+    def _retarget(self, core: Core) -> None:
+        """Run at the boost frequency iff any pending request is long."""
+        pending = core.pending_requests()
+        if not pending:
+            core.request_frequency(self.setting.f_short_hz)
+            return
+        freq = max(self._frequency_for(r) for r in pending)
+        core.request_frequency(freq)
+
+    def on_arrival(self, core: Core, request: Request) -> None:
+        self._retarget(core)
+
+    def on_completion(self, core: Core, request: Request) -> None:
+        self._retarget(core)

@@ -1,0 +1,81 @@
+"""Scheme interface: how power-management policies plug into the core.
+
+A scheme observes request arrivals and completions (the same events Rubik
+uses, Fig. 3) and drives the core's DVFS domain. Schemes also receive a
+:class:`SchemeContext` carrying the run's latency bound and machine
+configuration, and may register periodic timers through the simulator
+(used by Pegasus-style feedback and the HW colocation schemes).
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Optional
+
+from repro.config import DEFAULT_DVFS, TAIL_PERCENTILE, DvfsConfig
+from repro.sim.core import Core
+from repro.sim.engine import Simulator
+from repro.sim.request import Request
+from repro.workloads.base import AppProfile
+
+
+@dataclasses.dataclass
+class SchemeContext:
+    """Run parameters shared with the active scheme.
+
+    Attributes:
+        latency_bound_s: the tail-latency target ``L`` (paper: tail latency
+            of the fixed-frequency scheme at 50% load).
+        tail_percentile: the percentile the bound applies to (95th).
+        dvfs: frequency grid and transition latency.
+        app: the application being served, when known (oracles use its
+            profile; Rubik must not — it is application-agnostic).
+    """
+
+    latency_bound_s: float
+    tail_percentile: float = TAIL_PERCENTILE
+    dvfs: DvfsConfig = DEFAULT_DVFS
+    app: Optional[AppProfile] = None
+
+    def __post_init__(self) -> None:
+        if self.latency_bound_s <= 0:
+            raise ValueError("latency bound must be positive")
+        if not 0.0 < self.tail_percentile < 100.0:
+            raise ValueError("tail percentile must be in (0, 100)")
+
+    @property
+    def tail_quantile(self) -> float:
+        """Tail percentile as a fraction in (0, 1)."""
+        return self.tail_percentile / 100.0
+
+
+class Scheme(abc.ABC):
+    """A DVFS policy driving one core."""
+
+    #: Human-readable scheme name (used in tables).
+    name: str = "scheme"
+
+    def setup(self, sim: Simulator, core: Core, context: SchemeContext) -> None:
+        """Bind to a core before the run starts.
+
+        Subclasses that override this must call ``super().setup(...)``.
+        The default registers the scheme for arrival/completion events and
+        applies :meth:`initial_frequency`.
+        """
+        self.sim = sim
+        self.core = core
+        self.context = context
+        core.add_listener(self)
+        core.dvfs.request(self.initial_frequency())
+
+    def initial_frequency(self) -> float:
+        """Frequency to start the run at (defaults to nominal)."""
+        return self.context.dvfs.nominal_hz
+
+    # Event hooks (CoreListener protocol) -------------------------------
+    def on_arrival(self, core: Core, request: Request) -> None:
+        """Called after ``request`` was admitted (queued or in service)."""
+
+    def on_completion(self, core: Core, request: Request) -> None:
+        """Called after ``request`` finished and the next one started."""

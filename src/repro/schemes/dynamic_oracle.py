@@ -1,0 +1,141 @@
+"""DynamicOracle (paper Sec. 5.3).
+
+The per-request frequency schedule that minimizes power subject to the
+tail bound, computed with full knowledge of the trace:
+
+1. Start from a globally feasible schedule — every request at the lowest
+   *static* frequency that meets the bound (StaticOracle's choice), so
+   DynamicOracle's energy is upper-bounded by StaticOracle's from the
+   first step.
+2. Progressively reduce per-request frequencies until the allowed 5% of
+   requests exceed the bound, prioritizing the reductions that save the
+   most energy (the paper's construction).
+
+Reductions are evaluated with an *incremental* Lindley update: lowering
+request ``i``'s frequency only delays requests until the busy period
+containing ``i`` drains, so each trial touches a short suffix instead of
+the whole trace.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.power.model import DEFAULT_CORE_POWER, CorePowerModel
+from repro.schemes.base import SchemeContext
+from repro.schemes.replay import ReplayResult, lindley_finish_times, replay
+from repro.schemes.static_oracle import find_static_frequency
+from repro.sim.trace import Trace
+
+
+def _busy_power_per_freq(grid, model: CorePowerModel) -> dict:
+    return {f: model.busy_power(f) for f in grid}
+
+
+def _propagate(
+    trace: Trace,
+    freqs: np.ndarray,
+    finish: np.ndarray,
+    i: int,
+    new_freq: float,
+) -> Tuple[List[Tuple[int, float]], int]:
+    """Finish-time updates caused by slowing request ``i`` to ``new_freq``.
+
+    Returns (list of (index, new_finish), change in violation count).
+    The violation change is computed against the *caller's* bound via the
+    closure-free convention: the caller compares old/new against it.
+    """
+    arr = trace.arrivals
+    C = trace.compute_cycles
+    M = trace.memory_time_s
+    updates: List[Tuple[int, float]] = []
+    prev_finish = finish[i - 1] if i > 0 else -np.inf
+    start = arr[i] if arr[i] > prev_finish else prev_finish
+    new_f = start + C[i] / new_freq + M[i]
+    updates.append((i, new_f))
+    j = i + 1
+    n = len(arr)
+    prev = new_f
+    while j < n:
+        start = arr[j] if arr[j] > prev else prev
+        cand = start + C[j] / freqs[j] + M[j]
+        if cand == finish[j]:
+            break  # busy period drained; suffix unchanged
+        updates.append((j, cand))
+        prev = cand
+        j += 1
+    return updates, j
+
+
+def dynamic_oracle_schedule(
+    trace: Trace,
+    context: SchemeContext,
+    model: CorePowerModel = DEFAULT_CORE_POWER,
+    max_rounds: int = 20,
+) -> np.ndarray:
+    """Compute DynamicOracle's per-request frequency schedule."""
+    bound = context.latency_bound_s
+    grid = context.dvfs.frequencies
+    n = len(trace)
+    budget = int((1.0 - context.tail_percentile / 100.0) * n)
+
+    static_hz = find_static_frequency(trace, bound, context)
+    freqs = np.full(n, static_hz)
+    service = trace.compute_cycles / freqs + trace.memory_time_s
+    finish = lindley_finish_times(trace.arrivals, service)
+    viol = int(np.sum(finish - trace.arrivals > bound))
+
+    step_of = {f: i for i, f in enumerate(grid)}
+    power_at = _busy_power_per_freq(grid, model)
+
+    for _ in range(max_rounds):
+        # Rank one-step reductions by energy saved (larger first).
+        order = []
+        for i in range(n):
+            s = step_of[freqs[i]]
+            if s == 0:
+                continue
+            lower = grid[s - 1]
+            e_now = power_at[freqs[i]] * trace.compute_cycles[i] / freqs[i]
+            e_low = power_at[lower] * trace.compute_cycles[i] / lower
+            saving = e_now - e_low
+            if saving > 0:
+                order.append((saving, i))
+        if not order:
+            break
+        order.sort(reverse=True)
+
+        accepted = 0
+        for _, i in order:
+            s = step_of[freqs[i]]
+            if s == 0:
+                continue
+            lower = grid[s - 1]
+            updates, _ = _propagate(trace, freqs, finish, i, lower)
+            delta_viol = 0
+            for j, new_f in updates:
+                old_bad = finish[j] - trace.arrivals[j] > bound
+                new_bad = new_f - trace.arrivals[j] > bound
+                delta_viol += int(new_bad) - int(old_bad)
+            if viol + delta_viol <= budget:
+                for j, new_f in updates:
+                    finish[j] = new_f
+                freqs[i] = lower
+                viol += delta_viol
+                accepted += 1
+        if accepted == 0:
+            break
+    return freqs
+
+
+def evaluate_dynamic_oracle(
+    trace: Trace,
+    context: SchemeContext,
+    model: CorePowerModel = DEFAULT_CORE_POWER,
+    max_rounds: int = 20,
+) -> ReplayResult:
+    """Schedule + analytic replay of DynamicOracle on ``trace``."""
+    freqs = dynamic_oracle_schedule(trace, context, model, max_rounds)
+    return replay(trace, freqs, model)

@@ -1,0 +1,37 @@
+"""Fixed-frequency baseline (paper Sec. 5.2).
+
+Runs every request at a single static frequency — by default the nominal
+2.4 GHz, which defines both the 100% load point and the latency bounds
+used by all adaptive schemes (the fixed-frequency tail at 50% load).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.schemes.base import Scheme
+
+
+class FixedFrequency(Scheme):
+    """Always run at one frequency; never issues DVFS transitions."""
+
+    def __init__(self, freq_hz: Optional[float] = None) -> None:
+        """Args:
+            freq_hz: the static frequency; defaults to nominal. Must lie
+                on the DVFS grid (validated at setup).
+        """
+        self._freq_hz = freq_hz
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        if self._freq_hz is None:
+            return "Fixed-frequency"
+        return f"Fixed@{self._freq_hz / 1e9:.1f}GHz"
+
+    def initial_frequency(self) -> float:
+        if self._freq_hz is None:
+            return self.context.dvfs.nominal_hz
+        if self._freq_hz not in self.context.dvfs.frequencies:
+            raise ValueError(
+                f"fixed frequency {self._freq_hz} is not on the DVFS grid")
+        return self._freq_hz

@@ -1,0 +1,12 @@
+"""Discrete-event server simulation substrate (replaces the paper's zsim
+setup; see DESIGN.md Sec. 2 for the substitution argument).
+
+``repro.sim.server`` (the run harness) is imported directly rather than
+re-exported here, to keep this package import-safe from scheme modules.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.request import Request
+from repro.sim.trace import Trace
+
+__all__ = ["Request", "Simulator", "Trace"]

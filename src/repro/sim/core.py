@@ -1,0 +1,261 @@
+"""Core execution model: serves LC requests, optionally runs batch work.
+
+The core is a preemptive-resume server with a FIFO queue of latency-
+critical requests. Execution honours the two-component demand model
+(compute cycles at the current frequency + frequency-invariant memory
+time); a DVFS change mid-request advances the request's progress at the
+old frequency and reschedules its completion at the new one.
+
+When a :class:`BackgroundTask` (a colocated batch app) is attached, the
+core runs it whenever the LC queue is empty — the RubikColoc time-sharing
+policy (Fig. 13c): LC work preempts batch work instantly, and the first LC
+request after a batch interval can be charged extra compute cycles by an
+interference model (cold private caches, branch predictor, TLBs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Protocol
+
+from repro.config import DvfsConfig
+from repro.power.energy import EnergyMeter
+from repro.power.model import CorePowerModel, CoreState
+from repro.sim.dvfs import DvfsDomain
+from repro.sim.engine import Event, Simulator
+from repro.sim.request import Request
+
+#: Completion events fire after frequency changes at the same timestamp.
+COMPLETION_PRIORITY = 0
+
+
+class BackgroundTask(Protocol):
+    """A batch application that soaks up idle core time (RubikColoc)."""
+
+    def preferred_frequency(self, dvfs: DvfsConfig) -> float:
+        """Frequency the batch app wants to run at (e.g. best TPW)."""
+
+    def run(self, duration_s: float, freq_hz: float) -> None:
+        """Account ``duration_s`` of execution at ``freq_hz``."""
+
+    def mem_stall_frac(self, freq_hz: float) -> float:
+        """Fraction of wall-clock time stalled on memory at ``freq_hz``."""
+
+
+class CoreListener(Protocol):
+    """Scheme/controller hooks, invoked after the core updates its state."""
+
+    def on_arrival(self, core: "Core", request: Request) -> None: ...
+
+    def on_completion(self, core: "Core", request: Request) -> None: ...
+
+
+class Core:
+    """One simulated core with per-core DVFS and energy accounting."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dvfs_config: DvfsConfig,
+        power_model: CorePowerModel,
+        initial_hz: Optional[float] = None,
+        background: Optional[BackgroundTask] = None,
+        interference_cycles: Optional[Callable[[float, Request], float]] = None,
+        log_segments: bool = False,
+    ) -> None:
+        """Args:
+            sim: owning simulator.
+            dvfs_config: frequency grid and transition latency.
+            power_model: per-core power model for energy accounting.
+            initial_hz: starting frequency (defaults to nominal).
+            background: optional colocated batch task.
+            interference_cycles: optional callable
+                ``(batch_interval_s, request) -> extra cycles`` charged to
+                the first LC request after the core ran batch work.
+            log_segments: record (start, end, power_w) per accounting
+                segment, for power-over-time plots (Fig. 10).
+        """
+        self.sim = sim
+        self.dvfs = DvfsDomain(sim, dvfs_config, initial_hz,
+                               on_change=self._on_frequency_change)
+        self.meter = EnergyMeter(power_model)
+        self.queue: Deque[Request] = deque()
+        self.current: Optional[Request] = None
+        self.background = background
+        self._interference_cycles = interference_cycles
+        self.listeners: List[CoreListener] = []
+        self.completed: List[Request] = []
+        self.segment_log: Optional[List[tuple]] = [] if log_segments else None
+
+        self._completion_event: Optional[Event] = None
+        self._segment_start = sim.now
+        self._seg_state = self._idle_state()
+        self._seg_freq = self.dvfs.current_hz
+        self._seg_mem_frac = 0.0
+        self._batch_interval_start: Optional[float] = (
+            sim.now if background is not None else None)
+        if self.background is not None:
+            self.dvfs.request(self.background.preferred_frequency(dvfs_config))
+            self._seg_freq = self.dvfs.current_hz
+            self._seg_mem_frac = self.background.mem_stall_frac(self._seg_freq)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def frequency_hz(self) -> float:
+        return self.dvfs.current_hz
+
+    @property
+    def queue_length(self) -> int:
+        """Number of LC requests in the system (queued + in service)."""
+        return len(self.queue) + (1 if self.current is not None else 0)
+
+    def pending_requests(self) -> List[Request]:
+        """Requests currently in the system, oldest (in service) first."""
+        reqs: List[Request] = []
+        if self.current is not None:
+            reqs.append(self.current)
+        reqs.extend(self.queue)
+        return reqs
+
+    def add_listener(self, listener: CoreListener) -> None:
+        self.listeners.append(listener)
+
+    def current_request_elapsed(self) -> tuple:
+        """(elapsed cycles, elapsed memory seconds) of the in-service
+        request as of *now*, including the currently open segment.
+
+        This is what Rubik reads from performance counters (``omega`` in
+        the paper's Fig. 4) when it conditions the running request's
+        completion distribution.
+        """
+        if self.current is None:
+            return 0.0, 0.0
+        request = self.current
+        progress = request.progress
+        if self._seg_state is CoreState.BUSY:
+            total = (request.compute_cycles / self._seg_freq
+                     + request.memory_time_s)
+            if total > 0:
+                extra = (self.sim.now - self._segment_start) / total
+                progress = min(1.0, progress + extra)
+        return (progress * request.compute_cycles,
+                progress * request.memory_time_s)
+
+    def request_frequency(self, freq_hz: float) -> None:
+        """Ask the DVFS domain for ``freq_hz`` (must be on the grid)."""
+        self.dvfs.request(freq_hz)
+
+    def enqueue(self, request: Request) -> None:
+        """Admit a new LC request (called by the arrival process)."""
+        if self.current is None:
+            self._begin_service(request)
+        else:
+            self.queue.append(request)
+        for listener in self.listeners:
+            listener.on_arrival(self, request)
+
+    def finalize(self) -> None:
+        """Close the open accounting segment at the current sim time.
+
+        Call once after the run completes so energy/residency totals cover
+        the full simulated interval.
+        """
+        self._close_segment()
+        self._open_segment()
+
+    # ------------------------------------------------------------------
+    # Service machinery
+    # ------------------------------------------------------------------
+    def _idle_state(self) -> CoreState:
+        return CoreState.BATCH if self.background is not None else CoreState.IDLE
+
+    def _begin_service(self, request: Request) -> None:
+        self._close_segment()
+        if self._batch_interval_start is not None:
+            interval = self.sim.now - self._batch_interval_start
+            self._batch_interval_start = None
+            if interval > 0 and self._interference_cycles is not None:
+                extra = self._interference_cycles(interval, request)
+                if extra > 0:
+                    request.compute_cycles += extra
+        self.current = request
+        request.start_time = self.sim.now
+        self._schedule_completion()
+        self._open_segment()
+
+    def _schedule_completion(self) -> None:
+        assert self.current is not None
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+        remaining = self.current.remaining_time_at(self.dvfs.current_hz)
+        self._completion_event = self.sim.schedule_after(
+            remaining, self._on_completion, priority=COMPLETION_PRIORITY)
+
+    def _on_completion(self) -> None:
+        request = self.current
+        assert request is not None
+        self._close_segment()
+        request.progress = 1.0
+        request.finish_time = self.sim.now
+        self.completed.append(request)
+        self.current = None
+        self._completion_event = None
+        if self.queue:
+            nxt = self.queue.popleft()
+            nxt.start_time = self.sim.now
+            self.current = nxt
+            self._schedule_completion()
+        elif self.background is not None:
+            self._batch_interval_start = self.sim.now
+        self._open_segment()
+        for listener in self.listeners:
+            listener.on_completion(self, request)
+        # The batch app resumes at its own frequency once the LC queue is
+        # empty; schemes may have just requested something else, so this
+        # runs after the listener hooks.
+        if self.current is None and self.background is not None:
+            self.dvfs.request(
+                self.background.preferred_frequency(self.dvfs.config))
+
+    def _on_frequency_change(self, old_hz: float, new_hz: float) -> None:
+        del old_hz  # progress was advanced when the segment closed
+        self._close_segment()
+        if self.current is not None:
+            self._schedule_completion()
+        self._open_segment()
+
+    # ------------------------------------------------------------------
+    # Accounting segments
+    # ------------------------------------------------------------------
+    def _close_segment(self) -> None:
+        duration = self.sim.now - self._segment_start
+        if duration > 0:
+            energy = self.meter.record(
+                duration, self._seg_state, self._seg_freq, self._seg_mem_frac)
+            if self.segment_log is not None:
+                self.segment_log.append(
+                    (self._segment_start, self.sim.now, energy / duration))
+            if self._seg_state is CoreState.BUSY and self.current is not None:
+                self.current.advance(duration, self._seg_freq)
+            elif self._seg_state is CoreState.BATCH and self.background is not None:
+                self.background.run(duration, self._seg_freq)
+        self._segment_start = self.sim.now
+
+    def _open_segment(self) -> None:
+        self._segment_start = self.sim.now
+        freq = self.dvfs.current_hz
+        if self.current is not None:
+            self._seg_state = CoreState.BUSY
+            total = (self.current.compute_cycles / freq
+                     + self.current.memory_time_s)
+            self._seg_mem_frac = (
+                self.current.memory_time_s / total if total > 0 else 0.0)
+        elif self.background is not None:
+            self._seg_state = CoreState.BATCH
+            self._seg_mem_frac = self.background.mem_stall_frac(freq)
+        else:
+            self._seg_state = CoreState.IDLE
+            self._seg_mem_frac = 0.0
+        self._seg_freq = freq

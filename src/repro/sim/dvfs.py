@@ -1,0 +1,113 @@
+"""Per-core DVFS domain with realistic transition latencies.
+
+Models the paper's FIVR-style per-core regulator (Table 2): frequency
+changes are requested at any time but take ``transition_latency_s`` to take
+effect, during which the core keeps running at the old frequency
+(conservative). Only one transition can be in flight at a time — a request
+issued mid-transition is latched and starts after the in-flight one
+completes, which reproduces the back-to-back change behaviour that limits
+Rubik on real hardware (Sec. 5.5, 130 us observed latency).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.config import DvfsConfig
+from repro.sim.engine import Event, Simulator
+
+#: Event priority for frequency-change effects: fire before completions at
+#: the same timestamp so the new frequency is visible to them.
+FREQ_CHANGE_PRIORITY = -1
+
+
+class DvfsDomain:
+    """Frequency state machine for one core."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: DvfsConfig,
+        initial_hz: Optional[float] = None,
+        on_change: Optional[Callable[[float, float], None]] = None,
+    ) -> None:
+        """Args:
+            sim: owning simulator.
+            config: frequency grid and transition latency.
+            initial_hz: starting frequency (defaults to nominal); must be
+                on the grid.
+            on_change: callback ``(old_hz, new_hz)`` fired when a change
+                takes effect (used by the core to reschedule completions
+                and close energy segments).
+        """
+        self.sim = sim
+        self.config = config
+        start = config.nominal_hz if initial_hz is None else initial_hz
+        if start not in config.frequencies:
+            raise ValueError(f"initial frequency {start} not on the grid")
+        self.current_hz = start
+        self.on_change = on_change
+        self._pending_target: Optional[float] = None
+        self._pending_event: Optional[Event] = None
+        self._latched_target: Optional[float] = None
+        self.transitions = 0
+        #: (time, frequency) log of applied changes, for Figs. 1b and 10.
+        self.history = [(sim.now, start)]
+
+    # ------------------------------------------------------------------
+    def effective_target(self) -> float:
+        """The frequency the domain is heading to (or already at)."""
+        if self._latched_target is not None:
+            return self._latched_target
+        if self._pending_target is not None:
+            return self._pending_target
+        return self.current_hz
+
+    def request(self, target_hz: float) -> None:
+        """Request a change to ``target_hz`` (must be on the grid)."""
+        if target_hz not in self.config.frequencies:
+            raise ValueError(f"frequency {target_hz} not on the grid")
+        if target_hz == self.effective_target():
+            return
+        if self._pending_target is not None:
+            # A transition is in flight: latch the newest target.
+            self._latched_target = target_hz
+            return
+        self._begin_transition(target_hz)
+
+    def request_at_least(self, min_hz: float) -> None:
+        """Request the smallest grid frequency >= ``min_hz``."""
+        self.request(self.config.quantize_up(min_hz))
+
+    def _begin_transition(self, target_hz: float) -> None:
+        if self.config.transition_latency_s <= 0:
+            self._apply(target_hz)
+            return
+        self._pending_target = target_hz
+        self._pending_event = self.sim.schedule_after(
+            self.config.transition_latency_s,
+            self._on_transition_done,
+            priority=FREQ_CHANGE_PRIORITY,
+        )
+
+    def _on_transition_done(self) -> None:
+        target = self._pending_target
+        self._pending_target = None
+        self._pending_event = None
+        assert target is not None
+        self._apply(target)
+        if self._latched_target is not None:
+            nxt = self._latched_target
+            self._latched_target = None
+            if nxt != self.current_hz:
+                self._begin_transition(nxt)
+
+    def _apply(self, target_hz: float) -> None:
+        old = self.current_hz
+        if target_hz == old:
+            return
+        self.current_hz = target_hz
+        self.transitions += 1
+        self.history.append((self.sim.now, target_hz))
+        if self.on_change is not None:
+            self.on_change(old, target_hz)

@@ -1,0 +1,150 @@
+"""Single-core server harness: wire a trace, a scheme, and a core together.
+
+The paper simulates a 6-core CMP where each core runs an independent copy
+of the application over a partitioned memory system (Table 2), so cores
+are statistically independent; a server run is therefore one core's run
+(or several merged, see :func:`repro.experiments.common.run_replicas`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import DvfsConfig
+from repro.power.model import DEFAULT_CORE_POWER, CorePowerModel
+from repro.schemes.base import Scheme, SchemeContext
+from repro.sim.core import Core
+from repro.sim.engine import Simulator
+from repro.sim.request import Request
+from repro.sim.trace import Trace
+
+#: Arrival events fire after completions at the same timestamp, so a
+#: back-to-back departure/arrival sees the queue already drained.
+ARRIVAL_PRIORITY = 1
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Outcome of one simulated run.
+
+    Metric helpers exclude the warmup prefix (queue fill-in transient)
+    unless asked otherwise.
+    """
+
+    requests: List[Request]
+    warmup: int
+    duration_s: float
+    energy_j: float
+    active_energy_j: float
+    idle_energy_j: float
+    busy_time_s: float
+    utilization: float
+    busy_freq_hist: Dict[float, float]
+    dvfs_transitions: int
+    freq_history: List[Tuple[float, float]]
+    segment_log: Optional[List[Tuple[float, float, float]]] = None
+
+    # ------------------------------------------------------------------
+    def measured(self) -> List[Request]:
+        """Completed requests past the warmup prefix."""
+        return self.requests[self.warmup:]
+
+    def response_times(self, include_warmup: bool = False) -> np.ndarray:
+        reqs = self.requests if include_warmup else self.measured()
+        return np.array([r.response_time for r in reqs])
+
+    def service_times(self) -> np.ndarray:
+        """Observed service times (start to finish) of measured requests."""
+        return np.array(
+            [r.finish_time - r.start_time for r in self.measured()])
+
+    def tail_latency(self, pct: float = 95.0) -> float:
+        lats = self.response_times()
+        if lats.size == 0:
+            raise ValueError("no measured requests")
+        return float(np.percentile(lats, pct))
+
+    def violation_rate(self, bound_s: float) -> float:
+        """Fraction of measured requests above the latency bound."""
+        lats = self.response_times()
+        if lats.size == 0:
+            raise ValueError("no measured requests")
+        return float(np.mean(lats > bound_s))
+
+    @property
+    def mean_core_power_w(self) -> float:
+        """Time-averaged core power (active + sleep) over the run."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.energy_j / self.duration_s
+
+    @property
+    def energy_per_request_j(self) -> float:
+        """Core energy per completed request (paper Figs. 1a, 9b)."""
+        if not self.requests:
+            raise ValueError("no completed requests")
+        return self.energy_j / len(self.requests)
+
+
+def run_trace(
+    trace: Trace,
+    scheme: Scheme,
+    context: SchemeContext,
+    power_model: CorePowerModel = DEFAULT_CORE_POWER,
+    warmup: Optional[int] = None,
+    log_segments: bool = False,
+    dvfs_config: Optional[DvfsConfig] = None,
+) -> RunResult:
+    """Simulate one core serving ``trace`` under ``scheme``.
+
+    Args:
+        trace: the request trace (identical across schemes for fairness).
+        scheme: the DVFS policy under test.
+        context: latency bound and machine configuration.
+        power_model: per-core power model for energy accounting.
+        warmup: completed-request prefix excluded from latency metrics
+            (default: 2% of the trace, at least 10, at most 200).
+        log_segments: record per-segment power for power-over-time plots.
+        dvfs_config: overrides ``context.dvfs`` when given.
+
+    Returns:
+        RunResult with per-request records and energy accounting.
+    """
+    sim = Simulator()
+    dvfs = dvfs_config if dvfs_config is not None else context.dvfs
+    core = Core(sim, dvfs, power_model, log_segments=log_segments)
+    scheme.setup(sim, core, context)
+
+    requests = trace.to_requests()
+    for req in requests:
+        sim.schedule(
+            req.arrival_time,
+            (lambda r=req: core.enqueue(r)),
+            priority=ARRIVAL_PRIORITY,
+        )
+    sim.run()
+    core.finalize()
+
+    if warmup is None:
+        warmup = min(200, max(10, len(requests) // 50))
+    if warmup >= len(core.completed):
+        warmup = max(0, len(core.completed) - 1)
+
+    meter = core.meter
+    return RunResult(
+        requests=core.completed,
+        warmup=warmup,
+        duration_s=sim.now,
+        energy_j=meter.energy_j,
+        active_energy_j=meter.active_energy_j,
+        idle_energy_j=meter.idle_energy_j,
+        busy_time_s=meter.busy_time_s,
+        utilization=meter.utilization,
+        busy_freq_hist=meter.busy_frequency_histogram(),
+        dvfs_transitions=core.dvfs.transitions,
+        freq_history=list(core.dvfs.history),
+        segment_log=core.segment_log,
+    )

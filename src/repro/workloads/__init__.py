@@ -1,0 +1,6 @@
+"""Latency-critical application models (paper Table 3 / Sec. 3)."""
+
+from repro.workloads.apps import APPS, app_names, get_app
+from repro.workloads.base import AppProfile
+
+__all__ = ["APPS", "AppProfile", "app_names", "get_app"]

@@ -1,0 +1,100 @@
+"""The five latency-critical applications (paper Table 3 / Sec. 3).
+
+Calibration anchors (see DESIGN.md Sec. 5):
+
+* **masstree** — high-performance key-value store; very uniform, short
+  requests (median service ~240 us on the real system); response latency
+  almost entirely queueing-driven (corr 0.94 with queue length).
+* **moses** — statistical machine translation; long (~4 ms), fairly
+  uniform requests.
+* **specjbb** — Java middleware; very short requests with highly variable
+  service times (normalized tail is high even at 20% load).
+* **shore** — OLTP database (TPC-C); variable service times
+  (corr 0.56 with service time).
+* **xapian** — web-search leaf node with zipfian query popularity;
+  variable, right-skewed service times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.base import AppProfile
+
+MASSTREE = AppProfile(
+    name="masstree",
+    mean_service_s=0.26e-3,
+    service_cv=0.15,
+    mem_fraction=0.25,
+    num_requests=9000,
+    workload="mycsb-a (50% GETs/PUTs), 1.1GB table",
+    hint_quality=0.9,
+)
+
+MOSES = AppProfile(
+    name="moses",
+    mean_service_s=4.2e-3,
+    service_cv=0.22,
+    mem_fraction=0.15,
+    num_requests=900,
+    workload="opensubtitles.org corpora, phrase mode",
+    hint_quality=0.9,
+)
+
+SPECJBB = AppProfile(
+    name="specjbb",
+    mean_service_s=0.09e-3,
+    service_cv=3.0,
+    mem_fraction=0.20,
+    num_requests=37500,
+    workload="1 warehouse",
+    # Service variability is JIT/GC-driven, invisible to request hints.
+    hint_quality=0.2,
+)
+
+SHORE = AppProfile(
+    name="shore",
+    mean_service_s=0.42e-3,
+    service_cv=0.60,
+    mem_fraction=0.30,
+    num_requests=7500,
+    workload="TPC-C, 10 warehouses",
+    # Transaction type hints at cost, but data-dependent work dominates.
+    hint_quality=0.3,
+    # TPC-C transaction mix: occasional heavyweight transactions.
+    long_fraction=0.06,
+    long_scale=6.0,
+)
+
+XAPIAN = AppProfile(
+    name="xapian",
+    mean_service_s=0.95e-3,
+    service_cv=0.55,
+    mem_fraction=0.20,
+    num_requests=6000,
+    workload="English Wikipedia, zipfian query popularity",
+    # Query term count predicts cost only partially.
+    hint_quality=0.5,
+    # Zipfian query popularity: a minority of queries touch many terms.
+    long_fraction=0.06,
+    long_scale=5.0,
+)
+
+#: All five apps, in the paper's figure order.
+APPS: Dict[str, AppProfile] = {
+    app.name: app for app in (MASSTREE, MOSES, SHORE, SPECJBB, XAPIAN)
+}
+
+
+def app_names() -> List[str]:
+    """Application names in canonical (paper figure) order."""
+    return ["masstree", "moses", "shore", "specjbb", "xapian"]
+
+
+def get_app(name: str) -> AppProfile:
+    """Look up an application profile by name."""
+    try:
+        return APPS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown app {name!r}; available: {sorted(APPS)}") from None

@@ -1,0 +1,114 @@
+"""Tests for the statistics toolkit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    coefficient_of_variation,
+    empirical_cdf,
+    pearson,
+    percentile,
+    tail_latency,
+)
+
+floats_list = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=2, max_size=100)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3], 50) == pytest.approx(2.0)
+
+    def test_extremes(self):
+        assert percentile([1, 2, 3], 0) == 1.0
+        assert percentile([1, 2, 3], 100) == 3.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_tail_latency_default_is_95th(self):
+        samples = list(range(1, 101))
+        assert tail_latency(samples) == percentile(samples, 95)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_input_returns_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=5000), rng.normal(size=5000)
+        assert abs(pearson(x, y)) < 0.05
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError):
+            pearson([1], [2])
+
+    @given(floats_list)
+    @settings(max_examples=50, deadline=None)
+    def test_bounded(self, xs):
+        ys = [x * 2 + 1 for x in xs]
+        r = pearson(xs, ys)
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+
+
+class TestBootstrap:
+    def test_contains_true_mean(self):
+        samples = np.random.default_rng(1).normal(10, 1, 500)
+        lo, hi = bootstrap_ci(samples)
+        assert lo <= 10.1 and hi >= 9.9
+
+    def test_interval_ordering(self):
+        lo, hi = bootstrap_ci([1, 2, 3, 4, 5])
+        assert lo <= hi
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1, 2], confidence=1.5)
+
+
+class TestCv:
+    def test_constant_has_zero_cv(self):
+        assert coefficient_of_variation([5, 5, 5]) == 0.0
+
+    def test_known_value(self):
+        # std of [1,3] (population) is 1, mean 2 -> CV 0.5
+        assert coefficient_of_variation([1, 3]) == pytest.approx(0.5)
+
+    def test_rejects_zero_mean(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([-1, 1])
+
+
+class TestCdf:
+    def test_sorted_output(self):
+        vals, pct = empirical_cdf([3, 1, 2])
+        assert list(vals) == [1, 2, 3]
+        assert pct[-1] == pytest.approx(100.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])

@@ -1,0 +1,45 @@
+"""Tests for text-table rendering."""
+
+import pytest
+
+from repro.analysis.tables import render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table(("A", "B"), [(1, 2.5)])
+        lines = out.splitlines()
+        assert len(lines) == 3  # header, rule, row
+        assert "A" in lines[0] and "B" in lines[0]
+
+    def test_title(self):
+        out = render_table(("A",), [(1,)], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = render_table(("x",), [(1.23456,)], float_fmt=".2f")
+        assert "1.23" in out
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(("A", "B"), [(1,)])
+
+    def test_string_cells(self):
+        out = render_table(("name",), [("hello",)])
+        assert "hello" in out
+
+    def test_alignment(self):
+        out = render_table(("col",), [("a",), ("bbbb",)])
+        lines = out.splitlines()
+        assert len(lines[1]) == len(lines[2])  # fixed width
+
+
+class TestRenderSeries:
+    def test_pairs(self):
+        out = render_series("s", [1, 2], [3, 4])
+        assert out.startswith("s:")
+        assert "(1, 3)" in out and "(2, 4)" in out
+
+    def test_float_format(self):
+        out = render_series("s", [0.123456], [1.0], float_fmt=".2g")
+        assert "0.12" in out

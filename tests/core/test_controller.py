@@ -1,0 +1,140 @@
+"""Tests for the Rubik controller: frequency selection and end-to-end
+behaviour (the paper's core claims at unit scale)."""
+
+import numpy as np
+import pytest
+
+from repro.config import DvfsConfig
+from repro.core.controller import Rubik
+from repro.experiments.common import make_context
+from repro.schemes.base import SchemeContext
+from repro.schemes.fixed import FixedFrequency
+from repro.schemes.replay import replay
+from repro.sim.server import run_trace
+from repro.sim.trace import Trace
+from repro.workloads.apps import MASSTREE, SPECJBB
+
+
+def small_trace(app=MASSTREE, load=0.4, n=2500, seed=3):
+    return Trace.generate_at_load(app, load, n, seed)
+
+
+class TestFrequencyPolicy:
+    def test_starts_at_max(self):
+        """Safe before the demand model has data."""
+        ctx = make_context(MASSTREE, 3, 2000)
+        rubik = Rubik()
+        trace = small_trace(n=2000)
+        run = run_trace(trace, rubik, ctx)
+        # The controller's first request (right after the domain's
+        # nominal start entry) is the grid max.
+        assert run.freq_history[1][1] == ctx.dvfs.max_hz
+        assert run.freq_history[1][0] <= ctx.dvfs.transition_latency_s
+
+    def test_parks_at_min_when_idle(self):
+        ctx = make_context(MASSTREE, 3, 2000)
+        rubik = Rubik()
+        run = run_trace(small_trace(load=0.05, n=500), rubik, ctx)
+        # At 5% load, the controller should spend most wall time parked.
+        hist = {f: v for f, v in run.freq_history}
+        assert ctx.dvfs.min_hz in [f for _, f in run.freq_history]
+
+    def test_update_period_respected(self):
+        rubik = Rubik(update_period_s=0.05)
+        ctx = make_context(MASSTREE, 3, 2000)
+        run = run_trace(small_trace(n=2000), rubik, ctx)
+        duration = run.duration_s
+        assert rubik.table_updates <= duration / 0.05 + 2
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            Rubik(update_period_s=0.0)
+
+    def test_name_reflects_feedback(self):
+        assert Rubik().name == "Rubik"
+        assert "No Feedback" in Rubik(feedback=False).name
+
+
+class TestTailGuarantee:
+    @pytest.mark.parametrize("load", [0.3, 0.5])
+    def test_meets_bound_masstree(self, load):
+        """Rubik's central claim: tail within the bound (<=5% violations,
+        plus slack for finite-sample noise)."""
+        ctx = make_context(MASSTREE, 7, 4000)
+        trace = Trace.generate_at_load(MASSTREE, load, 4000, 7)
+        run = run_trace(trace, Rubik(), ctx)
+        assert run.violation_rate(ctx.latency_bound_s) <= 0.07
+
+    def test_meets_bound_high_variability(self):
+        """specjbb's heavy-tailed demands are the hard case."""
+        ctx = make_context(SPECJBB, 7, 6000)
+        trace = Trace.generate_at_load(SPECJBB, 0.4, 6000, 7)
+        run = run_trace(trace, Rubik(), ctx)
+        assert run.violation_rate(ctx.latency_bound_s) <= 0.07
+
+    def test_saves_power_vs_fixed(self):
+        ctx = make_context(MASSTREE, 7, 4000)
+        trace = Trace.generate_at_load(MASSTREE, 0.3, 4000, 7)
+        rubik = run_trace(trace, Rubik(), ctx)
+        fixed = run_trace(trace, FixedFrequency(), ctx)
+        assert rubik.mean_core_power_w < fixed.mean_core_power_w * 0.8
+
+    def test_no_feedback_is_conservative(self):
+        """Without the PI trimmer, Rubik's tail sits below the bound
+        (paper Fig. 9: conservative approximations)."""
+        ctx = make_context(MASSTREE, 7, 4000)
+        trace = Trace.generate_at_load(MASSTREE, 0.4, 4000, 7)
+        no_fb = run_trace(trace, Rubik(feedback=False), ctx)
+        assert no_fb.tail_latency() <= ctx.latency_bound_s * 1.02
+
+    def test_feedback_saves_more_than_no_feedback(self):
+        ctx = make_context(MASSTREE, 7, 4000)
+        trace = Trace.generate_at_load(MASSTREE, 0.4, 4000, 7)
+        with_fb = run_trace(trace, Rubik(), ctx)
+        no_fb = run_trace(trace, Rubik(feedback=False), ctx)
+        assert with_fb.energy_j <= no_fb.energy_j * 1.02
+
+
+class TestAdaptation:
+    def test_reacts_to_load_step(self):
+        """Frequencies after a 30->60% step are higher than before
+        (Fig. 1b behaviour) within a short window."""
+        from repro.sim.arrivals import LoadSchedule
+
+        app = MASSTREE
+        ctx = make_context(app, 5, 4000)
+        schedule = LoadSchedule.from_loads(
+            [(0.0, 0.3), (0.5, 0.6)], app.saturation_qps)
+        trace = Trace.generate(app, schedule, 4000, 5)
+        run = run_trace(trace, Rubik(), ctx)
+        hist = np.array(run.freq_history)
+        before = hist[(hist[:, 0] > 0.2) & (hist[:, 0] < 0.5)][:, 1]
+        after = hist[(hist[:, 0] > 0.6) & (hist[:, 0] < 0.9)][:, 1]
+        assert after.mean() > before.mean()
+
+    def test_application_agnostic(self):
+        """Rubik never reads the app profile or request hints."""
+        ctx = SchemeContext(latency_bound_s=1e-3, app=None)
+        trace = small_trace(n=1500)
+        run = run_trace(trace, Rubik(), ctx)  # app=None works fine
+        assert len(run.requests) == 1500
+
+    def test_model_tracks_demand_drift(self):
+        """If demands double mid-run, the profiler window adapts and the
+        tail is still respected afterwards."""
+        app = MASSTREE
+        ctx = make_context(app, 9, 3000)
+        t1 = Trace.generate_at_load(app, 0.35, 1500, 9)
+        t2 = Trace.generate_at_load(app, 0.35, 1500, 10)
+        shift = t1.arrivals[-1] + 1e-3
+        merged = Trace(
+            np.concatenate([t1.arrivals, t2.arrivals + shift]),
+            np.concatenate([t1.compute_cycles, t2.compute_cycles * 1.5]),
+            np.concatenate([t1.memory_time_s, t2.memory_time_s]),
+        )
+        run = run_trace(merged, Rubik(), ctx)
+        late = [r for r in run.requests[-700:]]
+        lats = np.array([r.response_time for r in late])
+        # Inflated demands make the original bound harder; Rubik should
+        # keep the overwhelming majority under 1.5x bound.
+        assert np.mean(lats > ctx.latency_bound_s * 1.5) < 0.05

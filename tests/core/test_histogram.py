@@ -1,0 +1,244 @@
+"""Tests for the Histogram distribution engine (Rubik's statistical core)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.histogram import Histogram, _normal_quantile
+
+positive_samples = st.lists(
+    st.floats(min_value=0.01, max_value=1e6, allow_nan=False), min_size=2,
+    max_size=200)
+
+
+class TestConstruction:
+    def test_from_samples_normalized(self):
+        h = Histogram.from_samples([1, 2, 3, 4])
+        assert h.pmf.sum() == pytest.approx(1.0)
+
+    def test_default_bucket_count(self):
+        h = Histogram.from_samples(list(range(1, 1000)))
+        assert h.num_buckets == 128  # paper Sec. 4.2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Histogram.from_samples([])
+
+    def test_rejects_negative_samples(self):
+        with pytest.raises(ValueError):
+            Histogram.from_samples([-1.0, 2.0])
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            Histogram(0.0, [1.0])
+
+    def test_rejects_negative_mass(self):
+        with pytest.raises(ValueError):
+            Histogram(1.0, [0.5, -0.5])
+
+    def test_all_zero_samples(self):
+        h = Histogram.from_samples([0.0, 0.0])
+        assert h.mean() <= 1.0
+
+    def test_point_mass(self):
+        h = Histogram.point_mass(5.0, bucket_width=1.0)
+        assert h.quantile(0.99) == pytest.approx(6.0)  # upper bucket edge
+        assert h.variance() == pytest.approx(0.0)
+
+    def test_clamps_above_upper(self):
+        h = Histogram.from_samples([1, 2, 100], num_buckets=10, upper=10)
+        assert h.quantile(1.0) == pytest.approx(10.0, rel=0.01)
+
+
+class TestMoments:
+    def test_mean_close_to_sample_mean(self):
+        samples = np.random.default_rng(0).lognormal(0, 0.5, 5000)
+        h = Histogram.from_samples(samples)
+        assert h.mean() == pytest.approx(samples.mean(), rel=0.02)
+
+    def test_variance_close_to_sample_variance(self):
+        samples = np.random.default_rng(1).lognormal(0, 0.5, 5000)
+        h = Histogram.from_samples(samples)
+        assert h.variance() == pytest.approx(samples.var(), rel=0.1)
+
+    @given(positive_samples)
+    @settings(max_examples=50, deadline=None)
+    def test_variance_nonnegative(self, samples):
+        h = Histogram.from_samples(samples)
+        assert h.variance() >= 0
+
+
+class TestQuantiles:
+    def test_quantile_conservative(self):
+        """Bucket-edge quantiles never under-estimate the true quantile."""
+        samples = np.random.default_rng(2).lognormal(0, 1.0, 2000)
+        h = Histogram.from_samples(samples)
+        true_q = np.percentile(samples, 95)
+        assert h.quantile(0.95) >= true_q - 1e-9
+
+    def test_quantile_within_one_bucket(self):
+        samples = np.random.default_rng(3).uniform(0, 10, 5000)
+        h = Histogram.from_samples(samples)
+        true_q = np.percentile(samples, 95)
+        assert h.quantile(0.95) <= true_q + 2 * h.bucket_width
+
+    @given(positive_samples, st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_quantile_monotone_in_q(self, samples, q):
+        h = Histogram.from_samples(samples)
+        assert h.quantile(q) <= h.quantile(min(1.0, q + 0.1)) + 1e-12
+
+    def test_quantile_rejects_bad_q(self):
+        h = Histogram.from_samples([1, 2])
+        with pytest.raises(ValueError):
+            h.quantile(0.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_cdf_at(self):
+        h = Histogram(1.0, [0.25, 0.25, 0.5])
+        assert h.cdf_at(-1) == 0.0
+        assert h.cdf_at(0.5) == pytest.approx(0.25)
+        assert h.cdf_at(100) == pytest.approx(1.0)
+
+
+class TestConditioning:
+    def test_zero_elapsed_is_identity(self):
+        h = Histogram.from_samples([1, 2, 3, 4, 5])
+        assert h.condition_on_elapsed(0.0) is h
+
+    def test_conditioning_shifts_support(self):
+        """P[S0 = c] = P[S = c + w | S > w]: mass moves toward zero."""
+        h = Histogram(1.0, [0.0, 0.0, 0.5, 0.5])
+        c = h.condition_on_elapsed(2.0)
+        # remaining work is 0..2 buckets
+        assert c.num_buckets == 2
+        assert c.pmf[0] == pytest.approx(0.5)
+
+    def test_conditioning_renormalizes(self):
+        h = Histogram(1.0, [0.9, 0.05, 0.05])
+        c = h.condition_on_elapsed(1.0)
+        assert c.pmf.sum() == pytest.approx(1.0)
+
+    def test_exhausted_returns_point_mass(self):
+        h = Histogram(1.0, [1.0])
+        c = h.condition_on_elapsed(100.0)
+        assert c.num_buckets == 1
+
+    def test_heavy_tail_conditioning_increases_mean_hazard(self):
+        """For a heavy-tailed (lognormal) dist, conditioning on large
+        elapsed work leaves substantial remaining work."""
+        samples = np.random.default_rng(4).lognormal(0, 1.5, 20000)
+        h = Histogram.from_samples(samples)
+        c = h.condition_on_elapsed(float(np.percentile(samples, 90)))
+        assert c.mean() > 0
+
+    def test_rejects_negative_elapsed(self):
+        h = Histogram.from_samples([1, 2])
+        with pytest.raises(ValueError):
+            h.condition_on_elapsed(-1.0)
+
+
+class TestConvolution:
+    def test_mean_additivity(self):
+        """Mean of a convolution is the sum of means, up to the inherent
+        half-bucket discretization bias per convolution."""
+        a = Histogram.from_samples(np.random.default_rng(5).uniform(1, 5, 1000))
+        b = Histogram(a.bucket_width, a.pmf.copy())
+        c = a.convolve(b)
+        assert c.mean() == pytest.approx(a.mean() + b.mean(),
+                                         abs=a.bucket_width)
+
+    def test_variance_additivity(self):
+        a = Histogram.from_samples(np.random.default_rng(6).uniform(1, 5, 1000))
+        c = a.convolve(a)
+        assert c.variance() == pytest.approx(2 * a.variance(), rel=1e-6)
+
+    def test_point_masses_add(self):
+        a = Histogram.point_mass(2.0, 1.0)
+        b = Histogram.point_mass(3.0, 1.0)
+        c = a.convolve(b)
+        # 2+3=5 at bucket indices (2+3=5), upper edge 6
+        assert c.quantile(1.0) == pytest.approx(6.0)
+
+    def test_fft_matches_direct(self):
+        """FFT path (large supports) equals direct convolution."""
+        rng = np.random.default_rng(7)
+        pmf = rng.random(300)
+        a = Histogram(1.0, pmf)
+        direct = np.convolve(a.pmf, a.pmf)
+        fft_result = a.convolve(a)
+        np.testing.assert_allclose(fft_result.pmf, direct / direct.sum(),
+                                   atol=1e-10)
+
+    def test_mismatched_widths_rejected(self):
+        a = Histogram(1.0, [1.0])
+        b = Histogram(2.0, [1.0])
+        with pytest.raises(ValueError):
+            a.convolve(b)
+
+    @given(positive_samples)
+    @settings(max_examples=30, deadline=None)
+    def test_convolution_preserves_mass(self, samples):
+        h = Histogram.from_samples(samples, num_buckets=32)
+        c = h.convolve(h)
+        assert c.pmf.sum() == pytest.approx(1.0)
+
+
+class TestRebucket:
+    def test_noop_when_small(self):
+        h = Histogram(1.0, [0.5, 0.5])
+        assert h.rebucket(10) is h
+
+    def test_coarsens_and_preserves_mass(self):
+        h = Histogram(1.0, np.ones(100))
+        r = h.rebucket(10)
+        assert r.num_buckets == 10
+        assert r.pmf.sum() == pytest.approx(1.0)
+
+    def test_mean_approximately_preserved(self):
+        samples = np.random.default_rng(8).uniform(0, 100, 5000)
+        h = Histogram.from_samples(samples, num_buckets=128)
+        r = h.rebucket(16)
+        assert r.mean() == pytest.approx(h.mean(), rel=0.1)
+
+
+class TestGaussianTail:
+    def test_matches_moments(self):
+        h = Histogram.from_samples(
+            np.random.default_rng(9).normal(50, 5, 20000).clip(0))
+        # 95th percentile of N(50, 5) = 50 + 1.645*5 = 58.2
+        assert h.gaussian_tail(0.95) == pytest.approx(58.2, rel=0.05)
+
+    def test_extra_moments(self):
+        h = Histogram.point_mass(10.0, 1.0)
+        t = h.gaussian_tail(0.95, extra_mean=100.0, extra_var=0.0)
+        assert t == pytest.approx(110.5, abs=1.0)
+
+    def test_never_negative(self):
+        h = Histogram.point_mass(0.0, 1.0)
+        assert h.gaussian_tail(0.05) >= 0.0
+
+
+class TestNormalQuantile:
+    @pytest.mark.parametrize("q,z", [
+        (0.5, 0.0), (0.95, 1.6449), (0.99, 2.3263), (0.05, -1.6449),
+        (0.975, 1.9600), (0.001, -3.0902),
+    ])
+    def test_known_values(self, q, z):
+        assert _normal_quantile(q) == pytest.approx(z, abs=1e-3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            _normal_quantile(0.0)
+        with pytest.raises(ValueError):
+            _normal_quantile(1.0)
+
+    @given(st.floats(min_value=1e-6, max_value=1 - 1e-6))
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry(self, q):
+        assert _normal_quantile(q) == pytest.approx(
+            -_normal_quantile(1 - q), abs=1e-6)

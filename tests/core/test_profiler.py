@@ -1,0 +1,75 @@
+"""Tests for the online demand profiler."""
+
+import pytest
+
+from repro.core.profiler import DemandProfiler
+
+
+class TestReadiness:
+    def test_not_ready_before_min_samples(self):
+        p = DemandProfiler(min_samples=5)
+        for _ in range(4):
+            p.observe(1e6, 1e-4)
+        assert not p.ready
+        assert p.snapshot() is None
+
+    def test_ready_at_min_samples(self):
+        p = DemandProfiler(min_samples=5)
+        for _ in range(5):
+            p.observe(1e6, 1e-4)
+        assert p.ready
+        assert p.snapshot() is not None
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            DemandProfiler(window=0)
+        with pytest.raises(ValueError):
+            DemandProfiler(window=10, min_samples=20)
+
+    def test_rejects_negative_observation(self):
+        p = DemandProfiler()
+        with pytest.raises(ValueError):
+            p.observe(-1.0, 0.0)
+
+
+class TestWindowing:
+    def test_window_evicts_old_samples(self):
+        p = DemandProfiler(window=10, min_samples=2)
+        for _ in range(10):
+            p.observe(1e6, 0.0)
+        for _ in range(10):
+            p.observe(5e6, 0.0)  # drift: demands grow 5x
+        cycles, _ = p.snapshot()
+        # Only new-regime samples remain.
+        assert cycles.mean() == pytest.approx(5e6, rel=0.1)
+
+    def test_sample_count_capped(self):
+        p = DemandProfiler(window=10, min_samples=2)
+        for _ in range(100):
+            p.observe(1e6, 0.0)
+        assert p.sample_count == 10
+        assert p.total_observed == 100
+
+
+class TestSnapshot:
+    def test_snapshot_moments(self):
+        p = DemandProfiler(min_samples=2)
+        for c in (1e6, 2e6, 3e6):
+            p.observe(c, 1e-4)
+        cycles, memory = p.snapshot()
+        assert cycles.mean() == pytest.approx(2e6, rel=0.05)
+        assert memory.mean() == pytest.approx(1e-4, rel=0.05)
+
+    def test_zero_memory_degenerates(self):
+        p = DemandProfiler(min_samples=2)
+        p.observe(1e6, 0.0)
+        p.observe(2e6, 0.0)
+        _, memory = p.snapshot()
+        assert memory.quantile(0.95) <= 1e-8
+
+    def test_128_buckets_default(self):
+        p = DemandProfiler(min_samples=2)
+        for c in range(1, 1000):
+            p.observe(float(c), 0.0)
+        cycles, _ = p.snapshot()
+        assert cycles.num_buckets == 128

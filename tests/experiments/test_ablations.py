@@ -1,0 +1,38 @@
+"""Smoke/shape tests for the ablation experiment."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ablations.run_ablations(num_requests=2500, seed=3)
+
+
+class TestAblations:
+    def test_all_variants_present(self, result):
+        expected = {
+            "Rubik (paper config)", "no feedback", "quartile rows",
+            "single row (no conditioning)", "CLT after 4 columns",
+            "1 s table refresh", "Pegasus (feedback only)",
+            "StaticOracle (reference)",
+        }
+        assert set(result.rows) == expected
+
+    def test_rubik_variants_hold_bound(self, result):
+        for name, vals in result.rows.items():
+            if "Pegasus" in name:
+                continue
+            assert vals["violations"] <= 0.08, name
+
+    def test_feedback_adds_savings(self, result):
+        assert result.rows["Rubik (paper config)"]["savings"] >= \
+            result.rows["no feedback"]["savings"] - 0.02
+
+    def test_no_feedback_conservative_tail(self, result):
+        assert result.rows["no feedback"]["tail_ratio"] <= \
+            result.rows["Rubik (paper config)"]["tail_ratio"] + 0.02
+
+    def test_table_renders(self, result):
+        assert "ablations" in result.table().lower()

@@ -1,0 +1,195 @@
+"""Smoke + shape tests for every experiment module (small configs).
+
+Each test runs the experiment at reduced scale and checks structural
+invariants and the paper's qualitative claims, not absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig01_intro,
+    fig02_variability,
+    fig06_power_savings,
+    fig07_fig08_cdfs,
+    fig09_load_sweep,
+    fig10_load_steps,
+    fig11_real_system,
+    fig12_system_power,
+    fig15_coloc_tails,
+    fig16_datacenter,
+    table1_correlations,
+)
+from repro.experiments.common import (
+    compare_schemes,
+    latency_bound,
+    make_context,
+    training_traces,
+)
+from repro.workloads.apps import MASSTREE
+
+N = 1500  # small but queueing-meaningful
+
+
+class TestCommon:
+    def test_bound_positive_and_seed_dependent(self):
+        b1 = latency_bound(MASSTREE, 1, N)
+        b2 = latency_bound(MASSTREE, 2, N)
+        assert b1 > 0 and b2 > 0
+        assert b1 != b2
+
+    def test_make_context(self):
+        ctx = make_context(MASSTREE, 1, N)
+        assert ctx.app is MASSTREE
+        assert ctx.latency_bound_s == latency_bound(MASSTREE, 1, N)
+
+    def test_training_traces_disjoint_seeds(self):
+        traces, bounds = training_traces(MASSTREE, 0.3, 1, N, count=2)
+        assert len(traces) == 2 and len(bounds) == 2
+        assert not np.array_equal(traces[0].arrivals, traces[1].arrivals)
+
+    def test_compare_schemes_keys(self):
+        pts = compare_schemes(MASSTREE, 0.3, seeds=(1,), num_requests=N)
+        assert set(pts) == {"StaticOracle", "AdrenalineOracle", "Rubik"}
+        for p in pts.values():
+            assert -1.0 < p.power_savings < 1.0
+
+
+class TestFig1:
+    def test_fig1a_rubik_beats_static(self):
+        res = fig01_intro.run_fig1a(num_requests=N, seed=3)
+        assert all(r < s for r, s in
+                   zip(res.rubik_mj, res.static_oracle_mj))
+        assert "Fig. 1a" in res.table()
+
+    def test_fig1b_series_produced(self):
+        res = fig01_intro.run_fig1b(num_requests=2500, seed=3)
+        assert len(res.rubik_window_times) > 3
+        assert len(res.freq_times) > 2
+        assert res.bound_ms > 0
+
+
+class TestFig2:
+    def test_fig2a_variability_range(self):
+        res = fig02_variability.run_fig2a(num_requests=3000)
+        for vals in res.per_app.values():
+            assert vals[0] < 1.0 < vals[-1]  # p10 < mean < p99
+
+    def test_fig2b_panels(self):
+        res = fig02_variability.run_fig2b(num_requests=3000)
+        assert len(res.times) > 2
+        assert np.all(res.queue_len >= 0)
+
+    def test_fig2c_monotone_in_load(self):
+        res = fig02_variability.run_fig2c(num_requests=3000,
+                                          loads=(0.2, 0.5))
+        for vals in res.per_app.values():
+            assert vals[1] > vals[0]
+
+    def test_queue_length_helper(self):
+        arr = np.array([0.0, 0.1, 0.2])
+        resp = np.array([0.25, 0.3, 0.3])
+        q = fig02_variability.queue_length_at_arrivals(arr, resp)
+        assert q[0] == 0 and q[1] == 1
+
+
+class TestTable1:
+    def test_queue_correlation_dominates(self):
+        res = table1_correlations.run_table1(num_requests=3000)
+        for name, (svc, qps, queue) in res.per_app.items():
+            assert queue > 0.5, name
+            assert queue > qps, name
+
+    def test_masstree_service_uninformative(self):
+        res = table1_correlations.run_table1(num_requests=3000)
+        svc, _, queue = res.per_app["masstree"]
+        assert svc < 0.3 and queue > 0.8
+
+
+class TestFig6:
+    def test_matrix_shape_and_claims(self):
+        res = fig06_power_savings.run_fig6(
+            num_requests=N, seeds=(3,), loads=(0.3, 0.5),
+            apps=("masstree",))
+        cell50 = res.savings["masstree"][0.5]
+        assert cell50["StaticOracle"] == pytest.approx(0.0, abs=0.02)
+        assert cell50["Rubik"] > 0.05
+        assert "Fig. 6" in res.table()
+
+
+class TestFig7Fig8:
+    def test_rubik_shifts_low_end_right(self):
+        res = fig07_fig08_cdfs.run_fig7(num_requests=2500, seed=3)
+        rubik = res.cdf_quantiles_ms["Rubik"]
+        static = res.cdf_quantiles_ms["StaticOracle"]
+        assert rubik[0] > static[0]  # p5 moved right (slower short reqs)
+
+    def test_rubik_low_frequency_residency(self):
+        res = fig07_fig08_cdfs.run_fig7(num_requests=2500, seed=3)
+        low = sum(frac for f, frac in res.rubik_freq_hist.items()
+                  if f <= 1.4e9)
+        assert low > 0.3
+
+
+class TestFig9:
+    def test_sweep_shapes(self):
+        res = fig09_load_sweep.run_load_sweep(
+            "masstree", loads=(0.3, 0.5), num_requests=N, seed=3)
+        # Fixed tail grows with load; adaptive schemes stay near bound.
+        assert res.tail_ms["Fixed"][1] > res.tail_ms["Fixed"][0]
+        assert res.energy_mj["DynamicOracle"][0] <= \
+            res.energy_mj["StaticOracle"][0] + 1e-9
+        assert "Fig. 9a" in res.table()
+
+
+class TestFig10:
+    def test_rubik_adapts_to_step(self):
+        res = fig10_load_steps.run_step_response(
+            "masstree", seed=3, total_time_s=3.0)
+        # After the 75% step, Rubik's worst window beats StaticOracle's.
+        rubik_worst = res.max_tail_after_step("Rubik")
+        static_worst = res.max_tail_after_step("StaticOracle")
+        assert rubik_worst < static_worst
+
+
+class TestFig11:
+    def test_real_system_savings(self):
+        res = fig11_real_system.run_fig11(num_requests=N)
+        assert res.rubik_meets_bound
+        # moses (long requests) keeps a clear Rubik edge at 30% load.
+        m = res.savings["moses"][0.3]
+        assert m["Rubik"] > m["StaticOracle"]
+
+    def test_variant_profile(self):
+        from repro.workloads.apps import MASSTREE as M
+        v = fig11_real_system.real_system_variant(M)
+        assert v.mem_fraction < M.mem_fraction
+        assert v.service_cv > M.service_cv
+
+
+class TestFig12:
+    def test_system_savings_modest(self):
+        res = fig12_system_power.run_fig12(num_requests=N)
+        for name in res.per_app:
+            assert res.per_app[name] < res.core_savings[name]
+            assert 0.0 < res.per_app[name] < 0.3
+
+
+class TestFig15:
+    def test_coloc_distribution(self):
+        res = fig15_coloc_tails.run_fig15(
+            num_mixes=1, apps=("masstree",), requests_per_core=600)
+        assert res.worst("HW-TPW") > res.worst("RubikColoc")
+        assert res.violation_fraction("RubikColoc") <= 0.34
+        assert "Fig. 15" in res.table()
+
+
+class TestFig16:
+    def test_datacenter_curves(self):
+        res = fig16_datacenter.run_fig16(
+            loads=(0.1, 0.5), num_mixes=1, requests_per_core=400)
+        # Colocation reduces both power and servers, more at low load.
+        assert res.comparisons[0].server_reduction > \
+            res.comparisons[1].server_reduction
+        assert res.comparisons[0].power_reduction > 0.1
+        assert "Fig. 16" in res.table()

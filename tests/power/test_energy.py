@@ -1,0 +1,79 @@
+"""Tests for energy metering."""
+
+import pytest
+
+from repro.power.energy import EnergyMeter
+from repro.power.model import CorePowerModel, CoreState
+
+PM = CorePowerModel()
+
+
+class TestAccounting:
+    def test_busy_energy(self):
+        m = EnergyMeter(PM)
+        e = m.record(1.0, CoreState.BUSY, 2.4e9)
+        assert e == pytest.approx(PM.busy_power(2.4e9))
+        assert m.active_energy_j == pytest.approx(e)
+        assert m.busy_time_s == 1.0
+
+    def test_idle_energy(self):
+        m = EnergyMeter(PM)
+        m.record(2.0, CoreState.IDLE, 0.8e9)
+        assert m.idle_energy_j == pytest.approx(2 * PM.sleep_power_w)
+        assert m.busy_time_s == 0.0
+
+    def test_batch_energy_separate(self):
+        m = EnergyMeter(PM)
+        m.record(1.0, CoreState.BATCH, 1.6e9, 0.3)
+        assert m.batch_energy_j > 0
+        assert m.active_energy_j == 0.0
+        assert m.batch_time_s == 1.0
+
+    def test_totals_sum(self):
+        m = EnergyMeter(PM)
+        m.record(1.0, CoreState.BUSY, 2.4e9)
+        m.record(1.0, CoreState.BATCH, 1.6e9)
+        m.record(1.0, CoreState.IDLE, 0.8e9)
+        assert m.energy_j == pytest.approx(
+            m.active_energy_j + m.batch_energy_j + m.idle_energy_j)
+        assert m.total_time_s == pytest.approx(3.0)
+
+    def test_zero_duration_noop(self):
+        m = EnergyMeter(PM)
+        assert m.record(0.0, CoreState.BUSY, 2.4e9) == 0.0
+        assert m.total_time_s == 0.0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            EnergyMeter(PM).record(-1.0, CoreState.BUSY, 2.4e9)
+
+    def test_mean_power_and_utilization(self):
+        m = EnergyMeter(PM)
+        m.record(1.0, CoreState.BUSY, 2.4e9)
+        m.record(1.0, CoreState.IDLE, 2.4e9)
+        assert m.utilization == pytest.approx(0.5)
+        assert m.mean_power_w == pytest.approx(m.energy_j / 2.0)
+
+    def test_empty_meter_defaults(self):
+        m = EnergyMeter(PM)
+        assert m.mean_power_w == 0.0
+        assert m.utilization == 0.0
+        assert m.frequency_histogram() == {}
+        assert m.busy_frequency_histogram() == {}
+
+
+class TestHistograms:
+    def test_busy_histogram_normalized(self):
+        m = EnergyMeter(PM)
+        m.record(3.0, CoreState.BUSY, 2.4e9)
+        m.record(1.0, CoreState.BUSY, 0.8e9)
+        m.record(5.0, CoreState.IDLE, 0.8e9)  # excluded from busy hist
+        hist = m.busy_frequency_histogram()
+        assert hist[2.4e9] == pytest.approx(0.75)
+        assert hist[0.8e9] == pytest.approx(0.25)
+
+    def test_total_histogram_includes_idle(self):
+        m = EnergyMeter(PM)
+        m.record(1.0, CoreState.BUSY, 2.4e9)
+        m.record(1.0, CoreState.IDLE, 2.4e9)
+        assert m.frequency_histogram()[2.4e9] == pytest.approx(1.0)

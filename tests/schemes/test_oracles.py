@@ -1,0 +1,169 @@
+"""Tests for StaticOracle, AdrenalineOracle, DynamicOracle, and the
+fixed-frequency baseline."""
+
+import numpy as np
+import pytest
+
+from repro.config import NOMINAL_FREQUENCY_HZ
+from repro.experiments.common import make_context
+from repro.schemes.adrenaline import AdrenalineOracle, tune_adrenaline
+from repro.schemes.base import Scheme, SchemeContext
+from repro.schemes.dynamic_oracle import (
+    dynamic_oracle_schedule,
+    evaluate_dynamic_oracle,
+)
+from repro.schemes.fixed import FixedFrequency
+from repro.schemes.replay import replay
+from repro.schemes.static_oracle import StaticOracle, find_static_frequency
+from repro.sim.server import run_trace
+from repro.sim.trace import Trace
+from repro.workloads.apps import MASSTREE, SHORE
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ctx = make_context(MASSTREE, 5, 2500)
+    trace = Trace.generate_at_load(MASSTREE, 0.4, 2500, 5)
+    return ctx, trace
+
+
+class TestFixedFrequency:
+    def test_defaults_to_nominal(self, setup):
+        ctx, trace = setup
+        run = run_trace(trace, FixedFrequency(), ctx)
+        assert run.freq_history[0][1] == ctx.dvfs.nominal_hz
+        assert run.dvfs_transitions == 0
+
+    def test_explicit_frequency(self, setup):
+        ctx, trace = setup
+        run = run_trace(trace, FixedFrequency(1.2e9), ctx)
+        # history[0] is the DVFS domain's nominal start; the scheme's
+        # setting applies from the first transition on.
+        assert all(f == 1.2e9 for _, f in run.freq_history[1:])
+
+    def test_rejects_off_grid(self, setup):
+        ctx, trace = setup
+        with pytest.raises(ValueError):
+            run_trace(trace, FixedFrequency(1.23e9), ctx)
+
+    def test_name(self):
+        assert FixedFrequency().name == "Fixed-frequency"
+        assert "2.4" in FixedFrequency(2.4e9).name
+
+
+class TestStaticOracle:
+    def test_picks_lowest_feasible(self, setup):
+        ctx, trace = setup
+        f = find_static_frequency(trace, ctx.latency_bound_s, ctx)
+        assert replay(trace, f).tail_latency() <= ctx.latency_bound_s
+        below = ctx.dvfs.quantize_down(f - 0.1e9)
+        if below < f:
+            assert replay(trace, below).tail_latency() > ctx.latency_bound_s
+
+    def test_infeasible_returns_max(self, setup):
+        ctx, trace = setup
+        tight = SchemeContext(latency_bound_s=1e-6)
+        assert find_static_frequency(trace, 1e-6, tight) == ctx.dvfs.max_hz
+
+    def test_at_bound_load_picks_nominal(self):
+        """By construction, the bound equals the nominal tail at 50%
+        load, so StaticOracle picks exactly nominal there."""
+        ctx = make_context(MASSTREE, 5, 2500)
+        trace = Trace.generate_at_load(MASSTREE, 0.5, 2500, 5)
+        so = StaticOracle()
+        so.tune(trace, ctx)
+        assert so.tuned_hz == ctx.dvfs.nominal_hz
+
+    def test_requires_tuning_before_run(self, setup):
+        ctx, trace = setup
+        with pytest.raises(RuntimeError):
+            run_trace(trace, StaticOracle(), ctx)
+
+    def test_evaluate_meets_bound(self, setup):
+        ctx, trace = setup
+        rep = StaticOracle().evaluate(trace, ctx)
+        assert rep.tail_latency() <= ctx.latency_bound_s
+
+
+class TestAdrenalineOracle:
+    def test_boost_at_least_short(self, setup):
+        ctx, trace = setup
+        setting = AdrenalineOracle().tune([trace], ctx)
+        assert setting.f_boost_hz >= setting.f_short_hz
+
+    def test_feasible_on_training_trace(self, setup):
+        ctx, trace = setup
+        setting = AdrenalineOracle().tune([trace], ctx)
+        assert setting.tail_latency_s <= ctx.latency_bound_s
+
+    def test_never_worse_than_static_when_self_tuned(self, setup):
+        """With tuning on the eval trace, Adrenaline generalizes
+        StaticOracle (f_short == f_boost is in its search space)."""
+        ctx, trace = setup
+        static = StaticOracle().evaluate(trace, ctx)
+        adren = AdrenalineOracle().evaluate(trace, ctx)
+        assert (adren.energy_per_request_j
+                <= static.energy_per_request_j * 1.001)
+
+    def test_infeasible_falls_back_to_max(self, setup):
+        _, trace = setup
+        tight = SchemeContext(latency_bound_s=1e-6)
+        setting = tune_adrenaline([trace], tight)
+        assert setting.f_short_hz == tight.dvfs.max_hz
+
+    def test_bounds_length_mismatch_rejected(self, setup):
+        ctx, trace = setup
+        with pytest.raises(ValueError):
+            tune_adrenaline([trace], ctx, bounds_s=[1.0, 2.0])
+
+    def test_event_driven_matches_replay_shape(self, setup):
+        """The event-driven scheme (used in Fig. 10) produces tails in
+        the same ballpark as its analytic replay."""
+        ctx, trace = setup
+        adren = AdrenalineOracle()
+        rep = adren.evaluate(trace, ctx)
+        run = run_trace(trace, adren, ctx)
+        assert run.tail_latency() <= max(rep.tail_latency() * 1.3,
+                                         ctx.latency_bound_s * 1.3)
+
+    def test_uses_predictions_not_truth(self):
+        """With useless hints (hint_quality=0), boosting cannot target
+        the true long requests."""
+        import dataclasses
+        noisy = dataclasses.replace(SHORE, hint_quality=0.0)
+        ctx = make_context(noisy, 5, 2500)
+        trace = Trace.generate_at_load(noisy, 0.3, 2500, 5)
+        setting = AdrenalineOracle().tune([trace], ctx)
+        boosted = trace.predicted_cycles >= setting.threshold_cycles
+        truly_long = trace.compute_cycles >= np.quantile(
+            trace.compute_cycles, 0.8)
+        if boosted.any() and setting.f_boost_hz > setting.f_short_hz:
+            hit_rate = (boosted & truly_long).sum() / max(1, boosted.sum())
+            assert hit_rate < 0.6  # mostly misfires
+
+
+class TestDynamicOracle:
+    def test_violations_within_budget(self, setup):
+        ctx, trace = setup
+        rep = evaluate_dynamic_oracle(trace, ctx, max_rounds=2)
+        assert rep.violation_rate(ctx.latency_bound_s) <= 0.05 + 1e-9
+
+    def test_beats_static_oracle(self, setup):
+        """Short-term adaptation with future knowledge lower-bounds all
+        other schemes (paper Fig. 9b)."""
+        ctx, trace = setup
+        static = StaticOracle().evaluate(trace, ctx)
+        dyn = evaluate_dynamic_oracle(trace, ctx, max_rounds=2)
+        assert dyn.energy_per_request_j < static.energy_per_request_j
+
+    def test_schedule_on_grid(self, setup):
+        ctx, trace = setup
+        freqs = dynamic_oracle_schedule(trace, ctx, max_rounds=1)
+        assert set(np.unique(freqs)).issubset(set(ctx.dvfs.frequencies))
+
+    def test_infeasible_requests_at_max(self):
+        """At very high load, late requests get max frequency."""
+        ctx = make_context(MASSTREE, 5, 1200)
+        trace = Trace.generate_at_load(MASSTREE, 1.2, 1200, 5)
+        freqs = dynamic_oracle_schedule(trace, ctx, max_rounds=0)
+        assert (freqs == ctx.dvfs.max_hz).any()

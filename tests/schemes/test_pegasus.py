@@ -1,0 +1,51 @@
+"""Tests for the Pegasus feedback baseline."""
+
+import pytest
+
+from repro.experiments.common import make_context
+from repro.schemes.pegasus import Pegasus
+from repro.sim.server import run_trace
+from repro.sim.trace import Trace
+from repro.workloads.apps import MASSTREE
+
+
+class TestPegasus:
+    def test_starts_at_max(self):
+        ctx = make_context(MASSTREE, 5, 2000)
+        trace = Trace.generate_at_load(MASSTREE, 0.3, 2000, 5)
+        run = run_trace(trace, Pegasus(), ctx)
+        assert run.freq_history[1][1] == ctx.dvfs.max_hz
+
+    def test_steps_down_at_low_load(self):
+        """With latency comfortably under the bound, the controller
+        lowers frequency over time."""
+        ctx = make_context(MASSTREE, 5, 6000)
+        trace = Trace.generate_at_load(MASSTREE, 0.2, 6000, 5)
+        scheme = Pegasus(adjust_period_s=0.2)
+        run = run_trace(trace, scheme, ctx)
+        final_freqs = [f for t, f in run.freq_history if t > run.duration_s / 2]
+        assert final_freqs and min(final_freqs) < ctx.dvfs.nominal_hz
+        assert scheme.adjustments > 3
+
+    def test_keeps_tail_reasonable(self):
+        ctx = make_context(MASSTREE, 5, 6000)
+        trace = Trace.generate_at_load(MASSTREE, 0.3, 6000, 5)
+        run = run_trace(trace, Pegasus(adjust_period_s=0.2), ctx)
+        # Feedback-only control tracks the bound loosely.
+        assert run.tail_latency() <= ctx.latency_bound_s * 1.5
+
+    def test_coarse_adaptation_slower_than_rubik(self):
+        """Pegasus adjusts orders of magnitude less often than Rubik."""
+        from repro.core.controller import Rubik
+
+        ctx = make_context(MASSTREE, 5, 4000)
+        trace = Trace.generate_at_load(MASSTREE, 0.3, 4000, 5)
+        peg_run = run_trace(trace, Pegasus(adjust_period_s=0.2), ctx)
+        rub_run = run_trace(trace, Rubik(), ctx)
+        assert peg_run.dvfs_transitions < rub_run.dvfs_transitions / 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Pegasus(window_s=0)
+        with pytest.raises(ValueError):
+            Pegasus(step_down_margin=2.0)

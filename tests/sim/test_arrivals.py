@@ -1,0 +1,116 @@
+"""Tests for arrival processes and load schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.arrivals import LoadSchedule, generate_poisson_arrivals
+
+
+class TestLoadSchedule:
+    def test_constant(self):
+        s = LoadSchedule.constant(100.0)
+        assert s.rate_at(0.0) == 100.0
+        assert s.rate_at(1e6) == 100.0
+
+    def test_steps(self):
+        s = LoadSchedule(((0.0, 10.0), (1.0, 20.0)))
+        assert s.rate_at(0.5) == 10.0
+        assert s.rate_at(1.0) == 20.0
+        assert s.rate_at(5.0) == 20.0
+
+    def test_from_loads(self):
+        s = LoadSchedule.from_loads([(0.0, 0.5)], saturation_qps=1000.0)
+        assert s.rate_at(0.0) == pytest.approx(500.0)
+
+    def test_mean_rate(self):
+        s = LoadSchedule(((0.0, 10.0), (1.0, 30.0)))
+        assert s.mean_rate(2.0) == pytest.approx(20.0)
+
+    def test_mean_rate_partial_interval(self):
+        s = LoadSchedule(((0.0, 10.0), (10.0, 99.0)))
+        assert s.mean_rate(5.0) == pytest.approx(10.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LoadSchedule(())
+
+    def test_rejects_nonzero_start(self):
+        with pytest.raises(ValueError):
+            LoadSchedule(((1.0, 10.0),))
+
+    def test_rejects_unsorted_steps(self):
+        with pytest.raises(ValueError):
+            LoadSchedule(((0.0, 1.0), (2.0, 2.0), (1.0, 3.0)))
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            LoadSchedule(((0.0, -1.0),))
+
+    def test_rejects_bad_saturation(self):
+        with pytest.raises(ValueError):
+            LoadSchedule.from_loads([(0.0, 0.5)], saturation_qps=0.0)
+
+
+class TestPoissonArrivals:
+    def test_count_and_monotonicity(self):
+        rng = np.random.default_rng(0)
+        arr = generate_poisson_arrivals(LoadSchedule.constant(1000.0),
+                                        500, rng)
+        assert len(arr) == 500
+        assert np.all(np.diff(arr) >= 0)
+
+    def test_rate_matches(self):
+        rng = np.random.default_rng(1)
+        arr = generate_poisson_arrivals(LoadSchedule.constant(1000.0),
+                                        20000, rng)
+        measured = len(arr) / arr[-1]
+        assert measured == pytest.approx(1000.0, rel=0.05)
+
+    def test_exponential_interarrivals(self):
+        """CV of interarrival gaps should be ~1 (memoryless)."""
+        rng = np.random.default_rng(2)
+        arr = generate_poisson_arrivals(LoadSchedule.constant(1000.0),
+                                        20000, rng)
+        gaps = np.diff(arr)
+        assert gaps.std() / gaps.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_step_change_rate(self):
+        rng = np.random.default_rng(3)
+        sched = LoadSchedule(((0.0, 100.0), (10.0, 1000.0)))
+        arr = generate_poisson_arrivals(sched, 20000, rng)
+        before = np.sum(arr < 10.0)
+        # ~1000 arrivals in the first 10 s at rate 100
+        assert before == pytest.approx(1000, rel=0.2)
+
+    def test_zero_rate_interval_skipped(self):
+        rng = np.random.default_rng(4)
+        sched = LoadSchedule(((0.0, 0.0), (1.0, 1000.0)))
+        arr = generate_poisson_arrivals(sched, 100, rng)
+        assert arr[0] >= 1.0
+
+    def test_zero_rate_forever_rejected(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            generate_poisson_arrivals(LoadSchedule.constant(0.0), 10, rng)
+
+    def test_rejects_bad_count(self):
+        rng = np.random.default_rng(6)
+        with pytest.raises(ValueError):
+            generate_poisson_arrivals(LoadSchedule.constant(1.0), 0, rng)
+
+    def test_deterministic_given_seed(self):
+        a = generate_poisson_arrivals(LoadSchedule.constant(100.0), 50,
+                                      np.random.default_rng(7))
+        b = generate_poisson_arrivals(LoadSchedule.constant(100.0), 50,
+                                      np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    @given(st.integers(min_value=1, max_value=200),
+           st.floats(min_value=1.0, max_value=1e5))
+    @settings(max_examples=30, deadline=None)
+    def test_always_sorted(self, n, rate):
+        rng = np.random.default_rng(42)
+        arr = generate_poisson_arrivals(LoadSchedule.constant(rate), n, rng)
+        assert np.all(np.diff(arr) >= 0)

@@ -1,0 +1,109 @@
+"""Tests for the DVFS domain state machine."""
+
+import pytest
+
+from repro.config import DvfsConfig
+from repro.sim.dvfs import DvfsDomain
+from repro.sim.engine import Simulator
+
+GRID = (1e9, 2e9, 3e9)
+
+
+def make_domain(latency=0.0, initial=2e9, on_change=None):
+    sim = Simulator()
+    cfg = DvfsConfig(frequencies=GRID, transition_latency_s=latency,
+                     nominal_hz=2e9)
+    return sim, DvfsDomain(sim, cfg, initial, on_change)
+
+
+class TestImmediateTransitions:
+    def test_zero_latency_applies_immediately(self):
+        sim, dom = make_domain(latency=0.0)
+        dom.request(3e9)
+        assert dom.current_hz == 3e9
+
+    def test_no_op_same_frequency(self):
+        sim, dom = make_domain()
+        dom.request(2e9)
+        assert dom.transitions == 0
+
+    def test_rejects_off_grid(self):
+        sim, dom = make_domain()
+        with pytest.raises(ValueError):
+            dom.request(1.5e9)
+
+    def test_rejects_off_grid_initial(self):
+        sim = Simulator()
+        cfg = DvfsConfig(frequencies=GRID, nominal_hz=2e9)
+        with pytest.raises(ValueError):
+            DvfsDomain(sim, cfg, 9e9)
+
+    def test_request_at_least(self):
+        sim, dom = make_domain()
+        dom.request_at_least(1.2e9)
+        assert dom.current_hz == 2e9
+
+
+class TestDelayedTransitions:
+    def test_takes_effect_after_latency(self):
+        sim, dom = make_domain(latency=4e-6)
+        dom.request(3e9)
+        assert dom.current_hz == 2e9  # still old during transition
+        sim.run()
+        assert dom.current_hz == 3e9
+        assert sim.now == pytest.approx(4e-6)
+
+    def test_latched_target_runs_after_in_flight(self):
+        """A request mid-transition starts after the current one lands."""
+        sim, dom = make_domain(latency=4e-6)
+        dom.request(3e9)
+        dom.request(1e9)  # latched
+        sim.run()
+        assert dom.current_hz == 1e9
+        # two transitions: 2->3 at 4us, 3->1 at 8us
+        assert dom.transitions == 2
+        assert sim.now == pytest.approx(8e-6)
+
+    def test_latest_latch_wins(self):
+        sim, dom = make_domain(latency=4e-6)
+        dom.request(3e9)
+        dom.request(1e9)
+        dom.request(2e9)  # replaces the latched 1 GHz... but 2 GHz is
+        sim.run()          # where the in-flight started from
+        assert dom.current_hz == 2e9
+
+    def test_effective_target(self):
+        sim, dom = make_domain(latency=4e-6)
+        dom.request(3e9)
+        assert dom.effective_target() == 3e9
+        dom.request(1e9)
+        assert dom.effective_target() == 1e9
+
+    def test_redundant_request_ignored(self):
+        sim, dom = make_domain(latency=4e-6)
+        dom.request(3e9)
+        dom.request(3e9)
+        sim.run()
+        assert dom.transitions == 1
+
+
+class TestCallbacksAndHistory:
+    def test_on_change_called(self):
+        changes = []
+        sim, dom = make_domain(
+            latency=0.0, on_change=lambda o, n: changes.append((o, n)))
+        dom.request(3e9)
+        assert changes == [(2e9, 3e9)]
+
+    def test_history_records_initial_and_changes(self):
+        sim, dom = make_domain(latency=0.0)
+        dom.request(3e9)
+        dom.request(1e9)
+        freqs = [f for _, f in dom.history]
+        assert freqs == [2e9, 3e9, 1e9]
+
+    def test_history_times_with_latency(self):
+        sim, dom = make_domain(latency=1e-6)
+        dom.request(3e9)
+        sim.run()
+        assert dom.history[-1][0] == pytest.approx(1e-6)

@@ -1,0 +1,130 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert sim.now == pytest.approx(5.0)
+
+    def test_priority_breaks_ties(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("low"), priority=1)
+        sim.schedule(1.0, lambda: fired.append("high"), priority=-1)
+        sim.run()
+        assert fired == ["high", "low"]
+
+    def test_fifo_among_equal_priority(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(1.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_rejects_past_events(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule(0.5, lambda: None)
+
+    def test_schedule_after(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.0, lambda: sim.schedule_after(
+            0.5, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [pytest.approx(1.5)]
+
+    def test_schedule_after_rejects_negative(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_after(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, lambda: fired.append("x"))
+        ev.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_and_reschedule(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, lambda: fired.append("old"))
+        ev.cancel()
+        sim.schedule(2.0, lambda: fired.append("new"))
+        sim.run()
+        assert fired == ["new"]
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert sim.peek_time() == pytest.approx(2.0)
+
+
+class TestRunControl:
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == pytest.approx(2.0)
+
+    def test_run_until_advances_clock_when_empty(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == pytest.approx(10.0)
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda t=t: fired.append(t))
+        sim.run(max_events=2)
+        assert fired == [1.0, 2.0]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                sim.schedule_after(1.0, lambda: chain(depth + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run()
+        assert fired == [0, 1, 2, 3]

@@ -1,0 +1,108 @@
+"""Tests for repro.config: frequency grids and machine configuration."""
+
+import pytest
+
+from repro.config import (
+    CmpConfig,
+    DEFAULT_CMP,
+    DEFAULT_DVFS,
+    DvfsConfig,
+    FREQUENCY_STEP_HZ,
+    MAX_FREQUENCY_HZ,
+    MIN_FREQUENCY_HZ,
+    NOMINAL_FREQUENCY_HZ,
+    frequency_grid,
+    real_system_dvfs,
+)
+
+
+class TestFrequencyGrid:
+    def test_paper_grid_has_14_steps(self):
+        # 0.8..3.4 GHz in 0.2 GHz steps (Table 2).
+        assert len(frequency_grid()) == 14
+
+    def test_grid_endpoints(self):
+        grid = frequency_grid()
+        assert grid[0] == pytest.approx(MIN_FREQUENCY_HZ)
+        assert grid[-1] == pytest.approx(MAX_FREQUENCY_HZ)
+
+    def test_grid_is_ascending_and_uniform(self):
+        grid = frequency_grid()
+        diffs = [b - a for a, b in zip(grid, grid[1:])]
+        assert all(d == pytest.approx(FREQUENCY_STEP_HZ) for d in diffs)
+
+    def test_nominal_on_grid(self):
+        assert NOMINAL_FREQUENCY_HZ in frequency_grid()
+
+    def test_custom_grid(self):
+        grid = frequency_grid(1e9, 2e9, 0.5e9)
+        assert grid == (1e9, 1.5e9, 2e9)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            frequency_grid(0, 1e9, 1e8)
+        with pytest.raises(ValueError):
+            frequency_grid(2e9, 1e9, 1e8)
+        with pytest.raises(ValueError):
+            frequency_grid(1e9, 2e9, 0)
+
+
+class TestDvfsConfig:
+    def test_quantize_up_exact(self):
+        assert DEFAULT_DVFS.quantize_up(2.4e9) == pytest.approx(2.4e9)
+
+    def test_quantize_up_rounds_up(self):
+        assert DEFAULT_DVFS.quantize_up(2.41e9) == pytest.approx(2.6e9)
+
+    def test_quantize_up_clamps_to_max(self):
+        assert DEFAULT_DVFS.quantize_up(9e9) == pytest.approx(3.4e9)
+
+    def test_quantize_up_clamps_to_min(self):
+        assert DEFAULT_DVFS.quantize_up(0.1e9) == pytest.approx(0.8e9)
+
+    def test_quantize_down_rounds_down(self):
+        assert DEFAULT_DVFS.quantize_down(2.39e9) == pytest.approx(2.2e9)
+
+    def test_quantize_down_clamps_to_min(self):
+        assert DEFAULT_DVFS.quantize_down(0.1e9) == pytest.approx(0.8e9)
+
+    def test_min_max_properties(self):
+        assert DEFAULT_DVFS.min_hz == pytest.approx(0.8e9)
+        assert DEFAULT_DVFS.max_hz == pytest.approx(3.4e9)
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            DvfsConfig(frequencies=())
+
+    def test_rejects_unsorted_grid(self):
+        with pytest.raises(ValueError):
+            DvfsConfig(frequencies=(2e9, 1e9), nominal_hz=1e9)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            DvfsConfig(transition_latency_s=-1e-6)
+
+    def test_rejects_nominal_off_range(self):
+        with pytest.raises(ValueError):
+            DvfsConfig(frequencies=(1e9, 2e9), nominal_hz=5e9)
+
+    def test_real_system_latency(self):
+        # Sec. 5.5: observed ~130 us transitions on real Haswell.
+        assert real_system_dvfs().transition_latency_s == pytest.approx(130e-6)
+
+
+class TestCmpConfig:
+    def test_paper_defaults(self):
+        assert DEFAULT_CMP.num_cores == 6
+        assert DEFAULT_CMP.tdp_watts == pytest.approx(65.0)
+
+    def test_per_core_budget(self):
+        assert DEFAULT_CMP.per_core_power_budget_watts == pytest.approx(65 / 6)
+
+    def test_rejects_bad_cores(self):
+        with pytest.raises(ValueError):
+            CmpConfig(num_cores=0)
+
+    def test_rejects_bad_tdp(self):
+        with pytest.raises(ValueError):
+            CmpConfig(tdp_watts=-1)
