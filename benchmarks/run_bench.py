@@ -1,0 +1,199 @@
+"""Hot-path benchmark harness — the repo's tracked perf trajectory.
+
+Times the three layers the paper's microsecond-scale claims rest on and
+writes one ``BENCH_PR<n>.json`` per PR so regressions are visible across
+the repo's history:
+
+* ``table_build``: :class:`~repro.core.tail_tables.TargetTailTables`
+  construction (the paper's ~0.2 ms periodic refresh), both lazily (as
+  the controller uses it) and fully materialized.
+* ``controller_events``: end-to-end event rate of a Rubik-controlled
+  simulation (arrivals + completions + DVFS transitions per second of
+  wall-clock).
+* ``load_sweep``: wall-clock of an end-to-end Fig. 9 load sweep for one
+  app (all five schemes per load) — the repo's headline experiment
+  benchmark.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # full, writes BENCH_PR1.json
+    PYTHONPATH=src python benchmarks/run_bench.py --quick    # <60 s smoke, no file by default
+    PYTHONPATH=src python benchmarks/run_bench.py --output out.json
+
+The ``--quick`` mode runs the same benchmarks at reduced scale; a pytest
+smoke test (``benchmarks/test_perf_smoke.py``, marker ``perf_smoke``)
+drives it in the tier-1 flow so harness breakage is caught without
+running full figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import time
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core.controller import Rubik
+from repro.core.histogram import Histogram
+from repro.core.tail_tables import TargetTailTables
+from repro.experiments.common import make_context
+from repro.experiments.fig09_load_sweep import run_load_sweep
+from repro.sim.server import run_trace
+from repro.sim.trace import Trace
+from repro.workloads.apps import APPS
+
+#: Which PR this bench file tracks (bump per perf-relevant PR).
+PR_NUMBER = 1
+
+#: Seed-measured reference numbers for the same workloads, recorded on
+#: the machine that produced BENCH_PR1.json before the PR 1 fast paths
+#: landed (commit 94d2b32). Speedup fields compare against these.
+SEED_BASELINE = {
+    "table_build_pair_ms": 17.95,
+    "load_sweep_s": 7.97,
+    "rubik_run_s": 0.603,
+}
+
+BENCH_APP = "masstree"
+BENCH_SEED = 21
+
+FULL = {
+    "table_reps": 30,
+    "run_requests": 4000,
+    "run_load": 0.5,
+    "sweep_loads": (0.2, 0.4, 0.5, 0.6, 0.8),
+    "sweep_requests": 4000,
+}
+QUICK = {
+    "table_reps": 5,
+    "run_requests": 1200,
+    "run_load": 0.5,
+    "sweep_loads": (0.3, 0.6),
+    "sweep_requests": 1200,
+}
+
+
+def _lognormal_hist(seed: int, mean: float, cv: float,
+                    n: int = 2000) -> Histogram:
+    sigma2 = math.log(1 + cv * cv)
+    mu = math.log(mean) - sigma2 / 2
+    samples = np.random.default_rng(seed).lognormal(
+        mu, math.sqrt(sigma2), n)
+    return Histogram.from_samples(samples)
+
+
+def _best_of(fn: Callable[[], None], reps: int) -> float:
+    """Best wall-clock of ``reps`` runs (least-noise estimator)."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_table_build(reps: int) -> Dict[str, float]:
+    """Tail-table refresh cost: lazy (controller-visible) and full."""
+    cycles_samples = _lognormal_hist(0, 1e6, 0.3)
+    memory_samples = _lognormal_hist(1, 1e-4, 0.3)
+
+    lazy_s = _best_of(
+        lambda: TargetTailTables(cycles_samples, memory_samples), reps)
+
+    def full_build() -> None:
+        tables = TargetTailTables(cycles_samples, memory_samples)
+        tables.cycles.materialize()
+        tables.memory.materialize()
+
+    full_s = _best_of(full_build, reps)
+    return {
+        "lazy_pair_ms": lazy_s * 1e3,
+        "materialized_pair_ms": full_s * 1e3,
+        "materialized_builds_per_s": 1.0 / full_s,
+        "speedup_vs_seed": SEED_BASELINE["table_build_pair_ms"] / (full_s * 1e3),
+    }
+
+
+def bench_controller_events(num_requests: int, load: float) -> Dict[str, float]:
+    """Event-processing rate of one Rubik-controlled run."""
+    app = APPS[BENCH_APP]
+    context = make_context(app, BENCH_SEED, num_requests)
+    trace = Trace.generate_at_load(app, load, num_requests, BENCH_SEED)
+    t0 = time.perf_counter()
+    result = run_trace(trace, Rubik(), context)
+    wall = time.perf_counter() - t0
+    out = {
+        "wall_s": wall,
+        "events": result.events_processed,
+        "events_per_s": result.events_processed / wall,
+        "requests_per_s": len(result.requests) / wall,
+    }
+    if num_requests == FULL["run_requests"]:
+        out["speedup_vs_seed"] = SEED_BASELINE["rubik_run_s"] / wall
+    return out
+
+
+def bench_load_sweep(loads, num_requests: int) -> Dict[str, float]:
+    """End-to-end Fig. 9 sweep for one app (all five schemes per load)."""
+    t0 = time.perf_counter()
+    run_load_sweep(BENCH_APP, loads=loads, num_requests=num_requests,
+                   seed=BENCH_SEED)
+    wall = time.perf_counter() - t0
+    out = {"wall_s": wall, "points": len(loads)}
+    if tuple(loads) == FULL["sweep_loads"] and \
+            num_requests == FULL["sweep_requests"]:
+        out["speedup_vs_seed"] = SEED_BASELINE["load_sweep_s"] / wall
+    return out
+
+
+def run_benchmarks(quick: bool = False) -> Dict:
+    cfg = QUICK if quick else FULL
+    results = {
+        "pr": PR_NUMBER,
+        "quick": quick,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "numpy": np.__version__,
+        },
+        "seed_baseline": SEED_BASELINE,
+        "table_build": bench_table_build(cfg["table_reps"]),
+        "controller_events": bench_controller_events(
+            cfg["run_requests"], cfg["run_load"]),
+        "load_sweep": bench_load_sweep(
+            cfg["sweep_loads"], cfg["sweep_requests"]),
+    }
+    return results
+
+
+def main(argv: Optional[list] = None) -> Dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced-scale smoke mode (<60 s)")
+    parser.add_argument("--output", default=None,
+                        help="JSON output path (default: BENCH_PR%d.json "
+                             "at the repo root in full mode; none in "
+                             "--quick mode)" % PR_NUMBER)
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(quick=args.quick)
+    print(json.dumps(results, indent=2))
+
+    output = args.output
+    if output is None and not args.quick:
+        output = f"BENCH_PR{PR_NUMBER}.json"
+    if output:
+        with open(output, "w") as fh:
+            json.dump(results, fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote {output}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Tier-1 smoke test for the perf harness (marker: ``perf_smoke``).
+
+Runs ``benchmarks/run_bench.py`` in ``--quick`` mode against a temp
+output file and sanity-checks the emitted schema, so breakage in the
+benchmark harness (or a catastrophic slowdown in a hot path) is caught
+by the ordinary test flow without regenerating full figures.
+
+Deselect with ``-m "not perf_smoke"`` when iterating on unrelated code.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import run_bench  # noqa: E402
+
+
+@pytest.mark.perf_smoke
+def test_quick_bench_emits_trajectory_point(tmp_path):
+    out = tmp_path / "bench.json"
+    results = run_bench.main(["--quick", "--output", str(out)])
+
+    # The file is valid JSON and matches what main() returned.
+    on_disk = json.loads(out.read_text())
+    assert on_disk["pr"] == run_bench.PR_NUMBER
+    assert on_disk["quick"] is True
+
+    # Schema: every tracked section is present with sane values.
+    table = results["table_build"]
+    assert 0 < table["lazy_pair_ms"] <= table["materialized_pair_ms"]
+    assert table["materialized_builds_per_s"] > 0
+
+    events = results["controller_events"]
+    assert events["events"] > 0
+    assert events["events_per_s"] > 0
+    assert events["requests_per_s"] > 0
+
+    sweep = results["load_sweep"]
+    assert sweep["wall_s"] > 0
+    assert sweep["points"] == len(run_bench.QUICK["sweep_loads"])
+
+    # The seed reference the trajectory is measured against is recorded
+    # alongside every point.
+    assert results["seed_baseline"] == run_bench.SEED_BASELINE

@@ -15,6 +15,7 @@ cycles throughout the code base.
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 from typing import Tuple
 
@@ -96,6 +97,13 @@ class DvfsConfig:
             raise ValueError("transition latency must be non-negative")
         if not (self.min_hz <= self.nominal_hz <= self.max_hz):
             raise ValueError("nominal frequency outside the grid range")
+        # O(1) grid membership for the per-event DVFS request validation
+        # (object.__setattr__ because frozen).
+        object.__setattr__(self, "_freq_set", frozenset(self.frequencies))
+
+    def on_grid(self, f_hz: float) -> bool:
+        """Whether ``f_hz`` is exactly one of the grid steps (O(1))."""
+        return f_hz in self._freq_set
 
     @property
     def min_hz(self) -> float:
@@ -109,11 +117,12 @@ class DvfsConfig:
         """Smallest available frequency >= ``f_hz`` (clamped to max).
 
         Rubik always rounds *up* so the analytical guarantee is preserved.
+        Binary search: this runs on every controller decision.
         """
-        for step in self.frequencies:
-            if step >= f_hz - 1e-9:
-                return step
-        return self.frequencies[-1]
+        idx = bisect.bisect_left(self.frequencies, f_hz - 1e-9)
+        if idx >= len(self.frequencies):
+            return self.frequencies[-1]
+        return self.frequencies[idx]
 
     def quantize_down(self, f_hz: float) -> float:
         """Largest available frequency <= ``f_hz`` (clamped to min)."""

@@ -54,6 +54,7 @@ class Rubik(Scheme):
         min_samples: int = 16,
         num_rows: int = DEFAULT_NUM_ROWS,
         max_explicit: int = DEFAULT_MAX_EXPLICIT,
+        vectorized: bool = True,
     ) -> None:
         """Args:
             update_period_s: target-tail-table refresh period.
@@ -65,6 +66,10 @@ class Rubik(Scheme):
             num_rows: elapsed-work rows in the tail tables (octiles).
             max_explicit: queue depth covered by convolution before the
                 CLT approximation takes over.
+            vectorized: evaluate Eq. 2 as one NumPy expression over the
+                whole queue (default). The scalar per-request loop is kept
+                selectable so equivalence tests can pin the two paths to
+                identical decisions.
         """
         if update_period_s <= 0:
             raise ValueError("update period must be positive")
@@ -73,6 +78,7 @@ class Rubik(Scheme):
         self.profiler = DemandProfiler(profiler_window, min_samples)
         self.num_rows = num_rows
         self.max_explicit = max_explicit
+        self.vectorized = vectorized
         self.tables: Optional[TargetTailTables] = None
         self.trimmer: Optional[LatencyTargetTrimmer] = None
         self._last_table_update = float("-inf")
@@ -142,6 +148,75 @@ class Rubik(Scheme):
         self.table_updates += 1
 
     def _update_frequency(self, core: Core) -> None:
+        if self.vectorized:
+            self._update_frequency_vectorized(core)
+        else:
+            self._update_frequency_scalar(core)
+
+    def _update_frequency_vectorized(self, core: Core) -> None:
+        """Eq. 2 over the whole queue in one NumPy expression.
+
+        ``c`` and ``m`` are precomputed table-row slices (one row lookup
+        per demand type), arrival times come from the core's incremental
+        buffer — no per-request Python loop, no ``pending_requests()``
+        list builds. Decision-equivalent to the scalar path: the same
+        float64 divisions feed the same max.
+        """
+        dvfs = self.context.dvfs
+        n = core.queue_length
+        if n == 0:
+            core.request_frequency(dvfs.min_hz)
+            return
+        if self.tables is None:
+            core.request_frequency(dvfs.max_hz)
+            return
+
+        target = self.internal_target_s
+        elapsed_c, elapsed_m = core.current_request_elapsed()
+        cycles = self.tables.cycles
+        memory = self.tables.memory
+        now = self.sim.now
+
+        if n <= cycles.max_explicit:
+            # Shallow-queue fast path (the overwhelmingly common case):
+            # one row lookup per demand type, then plain-float arithmetic
+            # over cached row lists. Bit-identical to the array expression
+            # below — same float64 operations in the same order — but
+            # without per-call small-array dispatch overhead.
+            crow = cycles.row_tails_list(cycles._row_index(elapsed_c), n)
+            mrow = memory.row_tails_list(memory._row_index(elapsed_m), n)
+            required_hz = 0.0
+            any_hopeless = False
+            for i, arrival in enumerate(core.pending_arrivals):
+                slack = (target - (now - arrival)) - mrow[i]
+                if slack <= 0.0:
+                    any_hopeless = True
+                else:
+                    ratio = crow[i] / slack
+                    if ratio > required_hz:
+                        required_hz = ratio
+            if any_hopeless:
+                # Non-positive Eq. 2 denominator: see the scalar path for
+                # why hopeless requests floor the frequency at nominal.
+                required_hz = max(required_hz, dvfs.nominal_hz)
+        else:
+            c = cycles.tails_for_queue(n, elapsed_c)
+            m = memory.tails_for_queue(n, elapsed_m)
+            slack = (target - (now - core.pending_arrival_times())) - m
+            if slack.min() > 0.0:
+                required_hz = (c / slack).max()
+            else:
+                feasible = slack > 0.0
+                required_hz = 0.0
+                if feasible.any():
+                    required_hz = (c[feasible] / slack[feasible]).max()
+                required_hz = max(required_hz, dvfs.nominal_hz)
+        if required_hz >= dvfs.max_hz:
+            core.request_frequency(dvfs.max_hz)
+        else:
+            core.request_frequency(dvfs.quantize_up(required_hz))
+
+    def _update_frequency_scalar(self, core: Core) -> None:
         requests = core.pending_requests()
         dvfs = self.context.dvfs
         if not requests:

@@ -36,10 +36,12 @@ class Histogram:
 
     Attributes:
         bucket_width: width of each bucket (same units as the values).
-        pmf: probability masses, normalized to sum to 1.
+        pmf: probability masses, normalized to sum to 1. Treated as
+            immutable after construction — derived caches (CDF, FFT)
+            assume the masses never change.
     """
 
-    __slots__ = ("bucket_width", "pmf")
+    __slots__ = ("bucket_width", "pmf", "_cdf", "_rfft_cache")
 
     def __init__(self, bucket_width: float, pmf: Sequence[float]) -> None:
         if bucket_width <= 0:
@@ -55,6 +57,26 @@ class Histogram:
             raise ValueError("pmf must have positive total mass")
         self.bucket_width = float(bucket_width)
         self.pmf = arr / total
+        self._cdf: Optional[np.ndarray] = None
+        self._rfft_cache: Optional[dict] = None
+
+    @classmethod
+    def _from_normalized(cls, bucket_width: float,
+                         pmf: np.ndarray) -> "Histogram":
+        """Fast constructor for *internal* operators.
+
+        Skips validation and re-normalization: ``pmf`` must already be a
+        non-negative float64 array summing to 1. Public entry points
+        (``__init__``, ``from_samples``, ``point_mass``) keep validating;
+        hot operators (conditioning, convolution, rebucketing, the table
+        builds) go through here.
+        """
+        self = object.__new__(cls)
+        self.bucket_width = bucket_width
+        self.pmf = pmf
+        self._cdf = None
+        self._rfft_cache = None
+        return self
 
     # ------------------------------------------------------------------
     # Construction
@@ -122,6 +144,12 @@ class Histogram:
         mu = float(np.dot(centers, self.pmf))
         return float(np.dot((centers - mu) ** 2, self.pmf))
 
+    def cumulative(self) -> np.ndarray:
+        """Cached CDF (``np.cumsum(pmf)``); do not mutate the result."""
+        if self._cdf is None:
+            self._cdf = np.cumsum(self.pmf)
+        return self._cdf
+
     def quantile(self, q: float) -> float:
         """Upper bucket edge at cumulative probability ``q`` in (0, 1].
 
@@ -130,7 +158,7 @@ class Histogram:
         """
         if not 0.0 < q <= 1.0:
             raise ValueError("q must be in (0, 1]")
-        cdf = np.cumsum(self.pmf)
+        cdf = self.cumulative()
         idx = int(np.searchsorted(cdf, q - 1e-12))
         idx = min(idx, self.pmf.size - 1)
         return (idx + 1) * self.bucket_width
@@ -142,7 +170,7 @@ class Histogram:
         idx = int(value / self.bucket_width)
         if idx >= self.pmf.size:
             return 1.0
-        return float(np.sum(self.pmf[: idx + 1]))
+        return float(self.cumulative()[idx])
 
     # ------------------------------------------------------------------
     # Rubik's operators
@@ -163,9 +191,27 @@ class Histogram:
         if shift == 0:
             return self
         remaining = self.pmf[shift:]
-        if remaining.size == 0 or remaining.sum() <= _EPS_MASS:
-            return Histogram(self.bucket_width, [1.0])
-        return Histogram(self.bucket_width, remaining)
+        total = remaining.sum() if remaining.size else 0.0
+        if total <= _EPS_MASS:
+            return Histogram._from_normalized(self.bucket_width,
+                                              np.ones(1))
+        return Histogram._from_normalized(self.bucket_width,
+                                          remaining / total)
+
+    def rfft(self, size: int) -> np.ndarray:
+        """Cached real FFT of the pmf zero-padded to ``size``.
+
+        Repeated convolutions against the same operand (the tail tables
+        convolve the base distribution dozens of times per refresh) reuse
+        the transform instead of recomputing it; do not mutate the result.
+        """
+        if self._rfft_cache is None:
+            self._rfft_cache = {}
+        cached = self._rfft_cache.get(size)
+        if cached is None:
+            cached = np.fft.rfft(self.pmf, size)
+            self._rfft_cache[size] = cached
+        return cached
 
     def convolve(self, other: "Histogram") -> "Histogram":
         """Distribution of the sum of two independent variables.
@@ -181,11 +227,12 @@ class Histogram:
             pmf = np.convolve(self.pmf, other.pmf)
         else:
             size = 1 << (n - 1).bit_length()
-            fa = np.fft.rfft(self.pmf, size)
-            fb = np.fft.rfft(other.pmf, size)
+            fa = self.rfft(size)
+            fb = other.rfft(size)
             pmf = np.fft.irfft(fa * fb, size)[:n]
             pmf = np.clip(pmf, 0.0, None)
-        return Histogram(self.bucket_width, pmf)
+        return Histogram._from_normalized(self.bucket_width,
+                                          pmf / pmf.sum())
 
     def rebucket(self, num_buckets: int) -> "Histogram":
         """Coarsen to at most ``num_buckets`` buckets (merging neighbours).
@@ -201,7 +248,8 @@ class Histogram:
         padded = np.zeros(factor * num_buckets)
         padded[: self.pmf.size] = self.pmf
         merged = padded.reshape(num_buckets, factor).sum(axis=1)
-        return Histogram(self.bucket_width * factor, merged)
+        return Histogram._from_normalized(self.bucket_width * factor,
+                                          merged / merged.sum())
 
     def gaussian_tail(self, q: float, extra_mean: float = 0.0,
                       extra_var: float = 0.0) -> float:

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.config import NOMINAL_FREQUENCY_HZ
 from repro.core.controller import Rubik
+from repro.perf import parallel_map
 from repro.schemes.adrenaline import AdrenalineOracle
 from repro.schemes.base import SchemeContext
 from repro.schemes.replay import ReplayResult, replay
@@ -94,45 +95,63 @@ def _power_and_tail(result, bound: float) -> Tuple[float, float, float]:
             result.violation_rate(bound))
 
 
+def _compare_seed(args) -> Dict[str, Tuple[float, float, float, float]]:
+    """One seed of the Fig. 6 scheme suite (module-level so the parallel
+    sweep executor can fan seeds out across worker processes)."""
+    app, load, seed, num_requests, include = args
+    context = make_context(app, seed, num_requests)
+    bound = context.latency_bound_s
+    trace = Trace.generate_at_load(app, load, num_requests, seed)
+    base = replay(trace, NOMINAL_FREQUENCY_HZ)
+    base_power = base.mean_core_power_w
+    rows: Dict[str, Tuple[float, float, float, float]] = {}
+    for name in include:
+        if name == "StaticOracle":
+            result = StaticOracle().evaluate(trace, context)
+        elif name == "AdrenalineOracle":
+            tr_traces, tr_bounds = training_traces(
+                app, load, seed, num_requests)
+            result = AdrenalineOracle().evaluate(
+                trace, context, tr_traces, tr_bounds)
+        elif name == "Rubik":
+            result = run_trace(trace, Rubik(), context)
+        elif name == "Rubik (No Feedback)":
+            result = run_trace(trace, Rubik(feedback=False), context)
+        else:
+            raise ValueError(f"unknown scheme {name!r}")
+        power, tail, viol = _power_and_tail(result, bound)
+        energy = result.energy_per_request_j
+        rows[name] = (1.0 - power / base_power, energy, tail, viol)
+    return rows
+
+
 def compare_schemes(
     app: AppProfile,
     load: float,
     seeds: Sequence[int] = DEFAULT_EVAL_SEEDS,
     num_requests: Optional[int] = None,
     include: Sequence[str] = ("StaticOracle", "AdrenalineOracle", "Rubik"),
+    processes: Optional[int] = None,
 ) -> Dict[str, SchemePoint]:
     """Evaluate the Fig. 6 scheme suite at one (app, load) point.
 
     Returns per-scheme seed-averaged results, keyed by scheme name.
     Power savings are relative to fixed-frequency at the same load.
+    Seeds are independent and fan out over the parallel sweep executor
+    (serial fallback on one CPU; identical results either way).
     """
     if load <= 0:
         raise ValueError("load must be positive")
+    per_seed = parallel_map(
+        _compare_seed,
+        [(app, load, seed, num_requests, tuple(include)) for seed in seeds],
+        processes=processes,
+    )
     acc: Dict[str, List[Tuple[float, float, float, float]]] = {
         name: [] for name in include}
-    for seed in seeds:
-        context = make_context(app, seed, num_requests)
-        bound = context.latency_bound_s
-        trace = Trace.generate_at_load(app, load, num_requests, seed)
-        base = replay(trace, NOMINAL_FREQUENCY_HZ)
-        base_power = base.mean_core_power_w
-        for name in include:
-            if name == "StaticOracle":
-                result = StaticOracle().evaluate(trace, context)
-            elif name == "AdrenalineOracle":
-                tr_traces, tr_bounds = training_traces(
-                    app, load, seed, num_requests)
-                result = AdrenalineOracle().evaluate(
-                    trace, context, tr_traces, tr_bounds)
-            elif name == "Rubik":
-                result = run_trace(trace, Rubik(), context)
-            elif name == "Rubik (No Feedback)":
-                result = run_trace(trace, Rubik(feedback=False), context)
-            else:
-                raise ValueError(f"unknown scheme {name!r}")
-            power, tail, viol = _power_and_tail(result, bound)
-            energy = result.energy_per_request_j
-            acc[name].append((1.0 - power / base_power, energy, tail, viol))
+    for rows in per_seed:
+        for name, row in rows.items():
+            acc[name].append(row)
 
     points: Dict[str, SchemePoint] = {}
     for name, rows in acc.items():

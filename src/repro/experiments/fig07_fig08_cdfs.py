@@ -17,6 +17,7 @@ import numpy as np
 from repro.analysis.tables import render_series, render_table
 from repro.core.controller import Rubik
 from repro.experiments.common import make_context, training_traces
+from repro.perf import parallel_map
 from repro.schemes.adrenaline import AdrenalineOracle
 from repro.schemes.static_oracle import StaticOracle
 from repro.sim.server import run_trace
@@ -94,11 +95,21 @@ def run_fig8(num_requests: Optional[int] = None,
     return run_cdf_experiment("xapian", num_requests, seed)
 
 
-def main(num_requests: Optional[int] = None) -> str:
-    report = "\n\n".join([
-        run_fig7(num_requests).table(),
-        run_fig8(num_requests).table(),
-    ])
+def _cdf_point(args) -> CdfAndHistResult:
+    """One app's CDF experiment (module-level for the parallel executor)."""
+    app_name, num_requests, seed = args
+    return run_cdf_experiment(app_name, num_requests, seed)
+
+
+def main(num_requests: Optional[int] = None, seed: int = 21,
+         processes: Optional[int] = None) -> str:
+    """Figs. 7 and 8, the two apps fanned out over the sweep executor."""
+    fig7, fig8 = parallel_map(
+        _cdf_point,
+        [("masstree", num_requests, seed), ("xapian", num_requests, seed)],
+        processes=processes,
+    )
+    report = "\n\n".join([fig7.table(), fig8.table()])
     print(report)
     return report
 

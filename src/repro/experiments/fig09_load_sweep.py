@@ -23,12 +23,15 @@ from repro.analysis.tables import render_table
 from repro.config import NOMINAL_FREQUENCY_HZ
 from repro.core.controller import Rubik
 from repro.experiments.common import make_context
+from repro.perf import parallel_map
+from repro.schemes.base import SchemeContext
 from repro.schemes.dynamic_oracle import evaluate_dynamic_oracle
 from repro.schemes.replay import replay
 from repro.schemes.static_oracle import StaticOracle
 from repro.sim.server import run_trace
 from repro.sim.trace import Trace
 from repro.workloads.apps import APPS, app_names
+from repro.workloads.base import AppProfile
 
 DEFAULT_LOADS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
 SCHEMES = ("Fixed", "StaticOracle", "DynamicOracle",
@@ -59,30 +62,58 @@ class LoadSweepResult:
         ])
 
 
+def _sweep_point(args: Tuple[AppProfile, float, float, Optional[int],
+                             int, int]) -> Dict[str, Tuple[float, float]]:
+    """One (app, load) point under all five schemes.
+
+    Module-level so :func:`repro.perf.parallel_map` can dispatch it to
+    worker processes; the trace is regenerated in-process from (app,
+    load, seed), not pickled.
+    """
+    app, load, bound_s, num_requests, seed, oracle_rounds = args
+    context = SchemeContext(latency_bound_s=bound_s, app=app)
+    trace = Trace.generate_at_load(app, load, num_requests, seed)
+    results = {
+        "Fixed": replay(trace, NOMINAL_FREQUENCY_HZ),
+        "StaticOracle": StaticOracle().evaluate(trace, context),
+        "DynamicOracle": evaluate_dynamic_oracle(
+            trace, context, max_rounds=oracle_rounds),
+        "Rubik (No Feedback)": run_trace(
+            trace, Rubik(feedback=False), context),
+        "Rubik": run_trace(trace, Rubik(), context),
+    }
+    return {
+        scheme: (res.tail_latency() * 1e3, res.energy_per_request_j * 1e3)
+        for scheme, res in results.items()
+    }
+
+
 def run_load_sweep(app_name: str,
                    loads: Sequence[float] = DEFAULT_LOADS,
                    num_requests: Optional[int] = None,
                    seed: int = 21,
-                   dynamic_oracle_rounds: int = 8) -> LoadSweepResult:
-    """Sweep one app across loads under all five schemes."""
+                   dynamic_oracle_rounds: int = 8,
+                   processes: Optional[int] = None) -> LoadSweepResult:
+    """Sweep one app across loads under all five schemes.
+
+    Load points are independent and run through the parallel sweep
+    executor; ``processes=None`` auto-sizes to the machine (serial on one
+    CPU), and results are identical to a serial run either way.
+    """
     app = APPS[app_name]
     context = make_context(app, seed, num_requests)
+    points = parallel_map(
+        _sweep_point,
+        [(app, load, context.latency_bound_s, num_requests, seed,
+          dynamic_oracle_rounds) for load in loads],
+        processes=processes,
+    )
     tail_ms: Dict[str, List[float]] = {s: [] for s in SCHEMES}
     energy_mj: Dict[str, List[float]] = {s: [] for s in SCHEMES}
-    for load in loads:
-        trace = Trace.generate_at_load(app, load, num_requests, seed)
-        results = {
-            "Fixed": replay(trace, NOMINAL_FREQUENCY_HZ),
-            "StaticOracle": StaticOracle().evaluate(trace, context),
-            "DynamicOracle": evaluate_dynamic_oracle(
-                trace, context, max_rounds=dynamic_oracle_rounds),
-            "Rubik (No Feedback)": run_trace(
-                trace, Rubik(feedback=False), context),
-            "Rubik": run_trace(trace, Rubik(), context),
-        }
-        for scheme, res in results.items():
-            tail_ms[scheme].append(res.tail_latency() * 1e3)
-            energy_mj[scheme].append(res.energy_per_request_j * 1e3)
+    for point in points:
+        for scheme, (tail, energy) in point.items():
+            tail_ms[scheme].append(tail)
+            energy_mj[scheme].append(energy)
     return LoadSweepResult(
         app=app_name,
         loads=tuple(loads),

@@ -21,6 +21,7 @@ from repro.analysis.tables import render_table
 from repro.coloc.batch import generate_mixes
 from repro.coloc.server import COLOC_SCHEME_NAMES, run_colocated_server
 from repro.experiments.common import make_context
+from repro.perf import parallel_map
 from repro.workloads.apps import APPS, app_names
 
 LC_LOAD = 0.6
@@ -66,6 +67,7 @@ def run_fig15(
     requests_per_core: Optional[int] = None,
     seed: int = 5,
     schemes: Sequence[str] = COLOC_SCHEME_NAMES,
+    processes: Optional[int] = None,
 ) -> Fig15Result:
     """Evaluate all colocation schemes across (app, mix) pairs.
 
@@ -75,23 +77,39 @@ def run_fig15(
     estimates for heavy-tailed apps (specjbb) need those run lengths.
     """
     mixes = generate_mixes(num_mixes=num_mixes, seed=0)
-    tails: Dict[str, List[float]] = {s: [] for s in schemes}
+    pairs = []
     for name in (apps or app_names()):
         app = APPS[name]
         per_core = requests_per_core
         if per_core is None:
             per_core = max(800, app.num_requests // 6)
         context = make_context(app, seed, per_core * 2)
-        bound = context.latency_bound_s
         for mix in mixes:
-            for scheme in schemes:
-                result = run_colocated_server(
-                    app, LC_LOAD, mix, scheme, context, seed=seed,
-                    requests_per_core=per_core)
-                tails[scheme].append(result.tail_latency() / bound)
+            pairs.append((app, mix, tuple(schemes), context, per_core, seed))
+    results = parallel_map(_fig15_pair, pairs, processes=processes)
+    tails: Dict[str, List[float]] = {s: [] for s in schemes}
+    for per_scheme in results:
+        for scheme, tail in per_scheme.items():
+            tails[scheme].append(tail)
     return Fig15Result({
         s: np.sort(np.asarray(v))[::-1] for s, v in tails.items()
     })
+
+
+def _fig15_pair(args) -> Dict[str, float]:
+    """All colocation schemes for one (LC app, batch mix) pair.
+
+    Module-level for the parallel sweep executor; one pair is the unit of
+    work so a pool load-balances across the app x mix matrix.
+    """
+    app, mix, schemes, context, per_core, seed = args
+    out: Dict[str, float] = {}
+    for scheme in schemes:
+        result = run_colocated_server(
+            app, LC_LOAD, mix, scheme, context, seed=seed,
+            requests_per_core=per_core)
+        out[scheme] = result.tail_latency() / context.latency_bound_s
+    return out
 
 
 def main(num_mixes: int = 20,

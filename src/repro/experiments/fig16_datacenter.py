@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import render_table
 from repro.coloc.datacenter import DatacenterComparison, compare_datacenters
+from repro.perf import parallel_map
 
 LC_LOADS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
 
@@ -54,18 +55,30 @@ class Fig16Result:
                   "(normalized to segregated @60%)")
 
 
+def _fig16_point(args: Tuple[float, int, int, int]) -> DatacenterComparison:
+    """One LC-load point (module-level for the parallel executor)."""
+    load, seed, num_mixes, requests_per_core = args
+    return compare_datacenters(load, seed=seed, num_mixes=num_mixes,
+                               requests_per_core=requests_per_core)
+
+
 def run_fig16(
     loads: Sequence[float] = LC_LOADS,
     num_mixes: int = 3,
     requests_per_core: int = 800,
     seed: int = 21,
+    processes: Optional[int] = None,
 ) -> Fig16Result:
-    """Sweep LC load and compare datacenters at each point."""
-    comparisons = [
-        compare_datacenters(load, seed=seed, num_mixes=num_mixes,
-                            requests_per_core=requests_per_core)
-        for load in loads
-    ]
+    """Sweep LC load and compare datacenters at each point.
+
+    Load points fan out over the parallel sweep executor (serial
+    fallback on one CPU; identical results either way).
+    """
+    comparisons = parallel_map(
+        _fig16_point,
+        [(load, seed, num_mixes, requests_per_core) for load in loads],
+        processes=processes,
+    )
     return Fig16Result(tuple(loads), comparisons)
 
 

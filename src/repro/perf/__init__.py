@@ -1,0 +1,19 @@
+"""Performance subsystem: parallel experiment execution and benchmarks.
+
+This package hosts the infrastructure that keeps the repo's experiment
+matrix (load sweeps, datacenter comparisons, CDF studies) fast:
+
+* :mod:`repro.perf.parallel` — a ``multiprocessing``-based sweep executor
+  with a deterministic serial fallback, used by the Fig. 9/15/16 and
+  Fig. 7/8 experiment drivers.
+
+The hot-path *algorithmic* fast paths (cached histogram CDFs/FFTs,
+shared-convolution tail-table builds, the vectorized Rubik controller)
+live with their subsystems under :mod:`repro.core`; ``benchmarks/
+run_bench.py`` times both layers and records the tracked perf trajectory
+(``BENCH_*.json``).
+"""
+
+from repro.perf.parallel import effective_workers, parallel_map
+
+__all__ = ["effective_workers", "parallel_map"]

@@ -1,0 +1,90 @@
+"""Multiprocessing sweep executor with a deterministic serial fallback.
+
+Experiment drivers fan out over *independent* evaluation points (loads,
+(app, mix) pairs, seeds). Each point re-derives everything it needs from
+plain picklable arguments (app names, loads, seeds), so worker processes
+never share simulator state and results are bitwise-identical to a serial
+run — parallelism only reorders wall-clock, never data.
+
+Usage:
+
+    results = parallel_map(_point_worker, args_list, processes=None)
+
+* ``processes=None`` auto-sizes to ``min(cpu_count, len(items))``.
+* One CPU (or one item, or ``processes=1``) short-circuits to an in-
+  process list comprehension: no pool, no pickling, no nondeterminism in
+  logging order. This keeps single-core CI machines and tests on the
+  exact serial path.
+* The ``REPRO_MAX_WORKERS`` environment variable caps the pool globally
+  (``0`` or ``1`` forces serial), so shared machines can be throttled
+  without touching call sites.
+
+Workers must be module-level functions (picklable); keep per-point
+argument tuples small — traces are regenerated inside the worker from
+(app, load, seed), not shipped across the pipe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable capping worker processes (0/1 = force serial).
+MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
+
+
+def effective_workers(num_tasks: int,
+                      processes: Optional[int] = None) -> int:
+    """Worker-process count for ``num_tasks`` independent tasks.
+
+    Args:
+        num_tasks: number of independent evaluation points.
+        processes: explicit worker count; ``None`` auto-sizes to the
+            machine (capped by ``REPRO_MAX_WORKERS`` when set).
+
+    Returns:
+        at least 1; a return of 1 means "run serially, no pool".
+    """
+    if num_tasks <= 1:
+        return 1
+    if processes is None:
+        try:
+            processes = len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux
+            processes = os.cpu_count() or 1
+    env_cap = os.environ.get(MAX_WORKERS_ENV)
+    if env_cap is not None:
+        # Global throttle: applies even over explicit per-call counts, so
+        # a shared machine can be capped without touching call sites.
+        try:
+            processes = min(processes, int(env_cap))
+        except ValueError:
+            pass
+    return max(1, min(processes, num_tasks))
+
+
+def parallel_map(fn: Callable[[T], R], items: Sequence[T],
+                 processes: Optional[int] = None,
+                 chunksize: int = 1) -> List[R]:
+    """``[fn(x) for x in items]``, fanned out over worker processes.
+
+    Results come back in input order regardless of completion order.
+    Falls back to an in-process loop when only one worker is effective
+    (single CPU, single item, or an explicit/env override), so callers
+    need no serial/parallel branching of their own.
+
+    Args:
+        fn: module-level (picklable) worker.
+        items: per-point argument values (typically small tuples).
+        processes: explicit worker count; ``None`` auto-sizes.
+        chunksize: items per pool dispatch (raise for many tiny points).
+    """
+    workers = effective_workers(len(items), processes)
+    if workers <= 1:
+        return [fn(item) for item in items]
+    with multiprocessing.Pool(workers) as pool:
+        return pool.map(fn, items, chunksize=chunksize)

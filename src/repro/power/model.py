@@ -104,6 +104,10 @@ class CorePowerModel:
             raise ValueError("stall_activity must be in [0, 1]")
         if self.sleep_power_w < 0:
             raise ValueError("sleep power must be non-negative")
+        # Per-frequency (dynamic-at-full-activity, leakage) cache: energy
+        # accounting evaluates busy_power on every segment close, and the
+        # frequency grid is small. object.__setattr__ because frozen.
+        object.__setattr__(self, "_fl_cache", {})
 
     def dynamic_power(self, freq_hz: float, activity: float = 1.0) -> float:
         """Dynamic switching power at ``freq_hz`` with the given activity."""
@@ -127,8 +131,17 @@ class CorePowerModel:
         """
         if not 0.0 <= mem_stall_frac <= 1.0:
             raise ValueError("mem_stall_frac must be in [0, 1]")
+        cached = self._fl_cache.get(freq_hz)
+        if cached is None:
+            if freq_hz <= 0:
+                raise ValueError("frequency must be positive")
+            v = self.curve.voltage(freq_hz)
+            cached = (self.c_eff_farads * v * v * freq_hz,
+                      self.leak_w_per_vk * v ** self.leak_exponent)
+            self._fl_cache[freq_hz] = cached
+        dyn_full, leak = cached
         activity = (1.0 - mem_stall_frac) + self.stall_activity * mem_stall_frac
-        return self.dynamic_power(freq_hz, activity) + self.leakage_power(freq_hz)
+        return dyn_full * activity + leak
 
     def power(self, state: CoreState, freq_hz: float,
               mem_stall_frac: float = 0.0) -> float:

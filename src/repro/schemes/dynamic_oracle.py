@@ -35,21 +35,23 @@ def _busy_power_per_freq(grid, model: CorePowerModel) -> dict:
 
 
 def _propagate(
-    trace: Trace,
-    freqs: np.ndarray,
-    finish: np.ndarray,
+    arr: List[float],
+    C: List[float],
+    M: List[float],
+    freqs: List[float],
+    finish: List[float],
     i: int,
     new_freq: float,
 ) -> Tuple[List[Tuple[int, float]], int]:
     """Finish-time updates caused by slowing request ``i`` to ``new_freq``.
 
-    Returns (list of (index, new_finish), change in violation count).
-    The violation change is computed against the *caller's* bound via the
-    closure-free convention: the caller compares old/new against it.
+    Operates on plain Python lists: this loop runs once per candidate
+    reduction per round, and list indexing avoids the ndarray scalar
+    boxing that used to dominate the oracle's runtime. Returns (list of
+    (index, new_finish), first untouched index). The violation change is
+    computed against the *caller's* bound via the closure-free convention:
+    the caller compares old/new against it.
     """
-    arr = trace.arrivals
-    C = trace.compute_cycles
-    M = trace.memory_time_s
     updates: List[Tuple[int, float]] = []
     prev_finish = finish[i - 1] if i > 0 else -np.inf
     start = arr[i] if arr[i] > prev_finish else prev_finish
@@ -89,45 +91,61 @@ def dynamic_oracle_schedule(
 
     step_of = {f: i for i, f in enumerate(grid)}
     power_at = _busy_power_per_freq(grid, model)
+    grid_arr = np.asarray(grid, dtype=float)
+    power_arr = np.array([power_at[f] for f in grid])
+
+    # The accept loop below runs per candidate per round; plain lists keep
+    # its scalar indexing off the ndarray boxing path. ``freqs``/``finish``
+    # live as lists inside the loop and are re-materialized as arrays for
+    # the vectorized ranking each round.
+    arr_l = trace.arrivals.tolist()
+    cyc_l = trace.compute_cycles.tolist()
+    mem_l = trace.memory_time_s.tolist()
+    finish_l = finish.tolist()
+    freqs_l = freqs.tolist()
 
     for _ in range(max_rounds):
-        # Rank one-step reductions by energy saved (larger first).
-        order = []
-        for i in range(n):
-            s = step_of[freqs[i]]
-            if s == 0:
-                continue
-            lower = grid[s - 1]
-            e_now = power_at[freqs[i]] * trace.compute_cycles[i] / freqs[i]
-            e_low = power_at[lower] * trace.compute_cycles[i] / lower
-            saving = e_now - e_low
-            if saving > 0:
-                order.append((saving, i))
-        if not order:
+        freqs = np.asarray(freqs_l)
+        # Rank one-step reductions by energy saved (larger first),
+        # vectorized over the whole trace: energy-per-request at the
+        # current and next-lower grid step, same float arithmetic as the
+        # scalar formulation (power * cycles / freq).
+        steps = np.searchsorted(grid_arr, freqs)
+        reducible = steps > 0
+        lower_steps = np.maximum(steps - 1, 0)
+        e_now = power_arr[steps] * trace.compute_cycles / freqs
+        e_low = (power_arr[lower_steps] * trace.compute_cycles
+                 / grid_arr[lower_steps])
+        saving = e_now - e_low
+        cand = np.flatnonzero(reducible & (saving > 0))
+        if cand.size == 0:
             break
-        order.sort(reverse=True)
+        # Descending (saving, index) — matches sorted(..., reverse=True)
+        # on (saving, i) tuples, ties broken toward the later request.
+        order = cand[np.lexsort((-cand, -saving[cand]))]
 
         accepted = 0
-        for _, i in order:
-            s = step_of[freqs[i]]
+        for i in order.tolist():
+            s = step_of[freqs_l[i]]
             if s == 0:
                 continue
             lower = grid[s - 1]
-            updates, _ = _propagate(trace, freqs, finish, i, lower)
+            updates, _ = _propagate(arr_l, cyc_l, mem_l, freqs_l,
+                                    finish_l, i, lower)
             delta_viol = 0
             for j, new_f in updates:
-                old_bad = finish[j] - trace.arrivals[j] > bound
-                new_bad = new_f - trace.arrivals[j] > bound
+                old_bad = finish_l[j] - arr_l[j] > bound
+                new_bad = new_f - arr_l[j] > bound
                 delta_viol += int(new_bad) - int(old_bad)
             if viol + delta_viol <= budget:
                 for j, new_f in updates:
-                    finish[j] = new_f
-                freqs[i] = lower
+                    finish_l[j] = new_f
+                freqs_l[i] = lower
                 viol += delta_viol
                 accepted += 1
         if accepted == 0:
             break
-    return freqs
+    return np.asarray(freqs_l)
 
 
 def evaluate_dynamic_oracle(

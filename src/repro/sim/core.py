@@ -18,6 +18,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, List, Optional, Protocol
 
+import numpy as np
+
 from repro.config import DvfsConfig
 from repro.power.energy import EnergyMeter
 from repro.power.model import CorePowerModel, CoreState
@@ -81,6 +83,10 @@ class Core:
         self.meter = EnergyMeter(power_model)
         self.queue: Deque[Request] = deque()
         self.current: Optional[Request] = None
+        #: Arrival times of current + queued requests, oldest first —
+        #: maintained incrementally so per-event controllers can read the
+        #: whole system state as one array without walking Request objects.
+        self._pending_arrivals: Deque[float] = deque()
         self.background = background
         self._interference_cycles = interference_cycles
         self.listeners: List[CoreListener] = []
@@ -119,6 +125,22 @@ class Core:
         reqs.extend(self.queue)
         return reqs
 
+    def pending_arrival_times(self) -> np.ndarray:
+        """Arrival times of requests in the system, oldest first.
+
+        Served from an incrementally-maintained buffer: O(queue depth)
+        float copies, no per-Request attribute walks — the fast path for
+        vectorized per-event controllers (Rubik evaluates Eq. 2 over this
+        array on every arrival and completion).
+        """
+        pending = self._pending_arrivals
+        return np.fromiter(pending, dtype=float, count=len(pending))
+
+    @property
+    def pending_arrivals(self) -> "Deque[float]":
+        """Arrival-time buffer (oldest first). Treat as read-only."""
+        return self._pending_arrivals
+
     def add_listener(self, listener: CoreListener) -> None:
         self.listeners.append(listener)
 
@@ -149,6 +171,7 @@ class Core:
 
     def enqueue(self, request: Request) -> None:
         """Admit a new LC request (called by the arrival process)."""
+        self._pending_arrivals.append(request.arrival_time)
         if self.current is None:
             self._begin_service(request)
         else:
@@ -200,6 +223,7 @@ class Core:
         request.progress = 1.0
         request.finish_time = self.sim.now
         self.completed.append(request)
+        self._pending_arrivals.popleft()  # FIFO: the oldest just finished
         self.current = None
         self._completion_event = None
         if self.queue:

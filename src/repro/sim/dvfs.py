@@ -65,7 +65,7 @@ class DvfsDomain:
 
     def request(self, target_hz: float) -> None:
         """Request a change to ``target_hz`` (must be on the grid)."""
-        if target_hz not in self.config.frequencies:
+        if not self.config.on_grid(target_hz):
             raise ValueError(f"frequency {target_hz} not on the grid")
         if target_hz == self.effective_target():
             return

@@ -46,6 +46,9 @@ class RunResult:
     dvfs_transitions: int
     freq_history: List[Tuple[float, float]]
     segment_log: Optional[List[Tuple[float, float, float]]] = None
+    #: Simulator events fired during the run (benchmark denominator for
+    #: events/sec; arrivals + completions + DVFS transitions + timers).
+    events_processed: int = 0
 
     # ------------------------------------------------------------------
     def measured(self) -> List[Request]:
@@ -147,4 +150,5 @@ def run_trace(
         dvfs_transitions=core.dvfs.transitions,
         freq_history=list(core.dvfs.history),
         segment_log=core.segment_log,
+        events_processed=sim.events_processed,
     )

@@ -223,6 +223,85 @@ class TestGaussianTail:
         assert h.gaussian_tail(0.05) >= 0.0
 
 
+class TestFastConstructorAndCaches:
+    """PR 1 fast paths: hot operators skip validation, public entry
+    points must keep it; derived caches must stay consistent."""
+
+    def test_public_constructor_rejects_negative_mass(self):
+        with pytest.raises(ValueError):
+            Histogram(1.0, [0.5, -0.5])
+
+    def test_public_constructor_rejects_zero_mass(self):
+        with pytest.raises(ValueError):
+            Histogram(1.0, [0.0, 0.0])
+
+    def test_public_constructor_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            Histogram(0.0, [1.0])
+        with pytest.raises(ValueError):
+            Histogram(-1.0, [1.0])
+
+    def test_public_constructor_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Histogram(1.0, [])
+        with pytest.raises(ValueError):
+            Histogram(1.0, [[0.5], [0.5]])
+
+    def test_from_samples_still_validates(self):
+        with pytest.raises(ValueError):
+            Histogram.from_samples([])
+        with pytest.raises(ValueError):
+            Histogram.from_samples([-1.0])
+        with pytest.raises(ValueError):
+            Histogram.from_samples([1.0], num_buckets=0)
+
+    def test_internal_operators_produce_normalized_pmfs(self):
+        h = Histogram.from_samples(
+            np.random.default_rng(10).lognormal(0, 0.8, 4000))
+        for derived in [h.condition_on_elapsed(h.quantile(0.5)),
+                        h.convolve(h),
+                        h.convolve(h).rebucket(16)]:
+            assert derived.pmf.sum() == pytest.approx(1.0, abs=1e-12)
+            assert np.all(derived.pmf >= 0)
+
+    def test_cached_cdf_matches_fresh_cumsum(self):
+        h = Histogram.from_samples(
+            np.random.default_rng(11).uniform(0, 10, 3000))
+        first = h.cumulative()
+        np.testing.assert_array_equal(first, np.cumsum(h.pmf))
+        # Second call returns the same (cached) array.
+        assert h.cumulative() is first
+
+    def test_quantile_consistent_after_cache(self):
+        h = Histogram.from_samples(
+            np.random.default_rng(12).uniform(0, 10, 3000))
+        before = [h.quantile(q) for q in (0.1, 0.5, 0.95, 1.0)]
+        h.cumulative()
+        after = [h.quantile(q) for q in (0.1, 0.5, 0.95, 1.0)]
+        assert before == after
+
+    def test_fft_cache_reuse_matches_uncached(self):
+        """Convolving repeatedly against the same base (the tail-table
+        pattern) must give the same result as fresh operands."""
+        rng = np.random.default_rng(13)
+        base = Histogram(1.0, rng.random(200))
+        acc_cached = base
+        for _ in range(4):
+            acc_cached = acc_cached.convolve(base)
+        acc_fresh = Histogram(1.0, base.pmf.copy())
+        for _ in range(4):
+            acc_fresh = acc_fresh.convolve(Histogram(1.0, base.pmf.copy()))
+        np.testing.assert_allclose(acc_cached.pmf, acc_fresh.pmf,
+                                   rtol=0, atol=1e-15)
+
+    def test_rfft_cache_keyed_by_size(self):
+        h = Histogram(1.0, np.random.default_rng(14).random(100))
+        f256 = h.rfft(256)
+        f512 = h.rfft(512)
+        assert f256.size == 129 and f512.size == 257
+        assert h.rfft(256) is f256  # cached per size
+
+
 class TestNormalQuantile:
     @pytest.mark.parametrize("q,z", [
         (0.5, 0.0), (0.95, 1.6449), (0.99, 2.3263), (0.05, -1.6449),

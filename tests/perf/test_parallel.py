@@ -1,0 +1,88 @@
+"""Tests for the parallel sweep executor (repro.perf)."""
+
+import os
+
+import pytest
+
+from repro.perf import effective_workers, parallel_map
+from repro.perf.parallel import MAX_WORKERS_ENV
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("boom")
+    return x
+
+
+class TestEffectiveWorkers:
+    def test_single_task_is_serial(self):
+        assert effective_workers(1) == 1
+        assert effective_workers(0) == 1
+
+    def test_explicit_processes_capped_by_tasks(self):
+        assert effective_workers(3, processes=8) == 3
+        assert effective_workers(8, processes=3) == 3
+
+    def test_explicit_one_forces_serial(self):
+        assert effective_workers(100, processes=1) == 1
+
+    def test_auto_never_exceeds_machine(self):
+        cpus = len(os.sched_getaffinity(0))
+        assert effective_workers(10_000) <= cpus
+
+    def test_env_cap(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV, "1")
+        assert effective_workers(64) == 1
+
+    def test_env_cap_overrides_explicit_processes(self, monkeypatch):
+        """The env throttle is global: explicit per-call counts cannot
+        exceed it."""
+        monkeypatch.setenv(MAX_WORKERS_ENV, "1")
+        assert effective_workers(64, processes=8) == 1
+
+    def test_env_cap_garbage_ignored(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV, "not-a-number")
+        assert effective_workers(4) >= 1
+
+
+class TestParallelMap:
+    def test_serial_fallback_matches_comprehension(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, processes=1) == \
+            [x * x for x in items]
+
+    def test_pool_results_in_input_order(self):
+        items = list(range(17))
+        assert parallel_map(_square, items, processes=2) == \
+            [x * x for x in items]
+
+    def test_empty_items(self):
+        assert parallel_map(_square, []) == []
+
+    def test_worker_exception_propagates_serial(self):
+        with pytest.raises(ValueError):
+            parallel_map(_fail_on_three, [1, 2, 3], processes=1)
+
+    def test_worker_exception_propagates_pool(self):
+        with pytest.raises(ValueError):
+            parallel_map(_fail_on_three, [1, 2, 3, 4], processes=2)
+
+
+class TestExperimentsUnderPool:
+    def test_load_sweep_pool_equals_serial(self):
+        """A forced 2-worker sweep reproduces the serial sweep exactly
+        (determinism is per-point, so process fan-out cannot change
+        results)."""
+        from repro.experiments.fig09_load_sweep import run_load_sweep
+
+        serial = run_load_sweep("masstree", loads=(0.3, 0.6),
+                                num_requests=400, seed=5, processes=1)
+        pooled = run_load_sweep("masstree", loads=(0.3, 0.6),
+                                num_requests=400, seed=5, processes=2)
+        assert pooled.tail_ms == serial.tail_ms
+        assert pooled.energy_mj == serial.energy_mj
+        assert pooled.bound_ms == serial.bound_ms
