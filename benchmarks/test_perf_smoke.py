@@ -38,6 +38,16 @@ def test_quick_bench_emits_trajectory_point(tmp_path):
     assert events["events_per_s"] > 0
     assert events["requests_per_s"] > 0
 
+    # Event-churn regression guard: a Rubik run costs one arrival plus
+    # one completion event per request — DVFS transitions apply lazily
+    # and must NOT consume simulator events. If this trips, something
+    # reintroduced per-transition (or other per-request) heap traffic.
+    assert (events["events"]
+            <= run_bench.EVENTS_PER_REQUEST_BUDGET
+            * run_bench.QUICK["run_requests"]), (
+        f"event churn crept back in: {events['events']} events for "
+        f"{run_bench.QUICK['run_requests']} requests")
+
     sweep = results["load_sweep"]
     assert sweep["wall_s"] > 0
     assert sweep["points"] == len(run_bench.QUICK["sweep_loads"])

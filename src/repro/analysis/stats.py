@@ -34,12 +34,23 @@ def tail_latency(latencies: Sequence[float], pct: float = TAIL_PERCENTILE) -> fl
     return percentile(latencies, pct)
 
 
+#: Relative spread below which an input counts as constant for pearson():
+#: comfortably above float64's ~2.2e-16 rounding noise, far below any
+#: real variation Table 1 measures.
+_PEARSON_REL_TOL = 1e-12
+
+
 def pearson(x: Sequence[float], y: Sequence[float]) -> float:
     """Pearson correlation coefficient between two equal-length sequences.
 
     Returns 0.0 when either input is (numerically) constant, which is the
     convention most useful for Table 1 (a constant service time carries no
-    information about response latency).
+    information about response latency). Constant-ness is judged by the
+    spread *relative to the input's magnitude*: an absolute threshold
+    misfires for large-magnitude near-constant data — e.g. latencies in
+    nanoseconds, where pure float64 rounding noise has a std far above any
+    absolute epsilon and the quotient becomes a correlation of rounding
+    artifacts.
     """
     ax = np.asarray(x, dtype=float)
     ay = np.asarray(y, dtype=float)
@@ -49,7 +60,9 @@ def pearson(x: Sequence[float], y: Sequence[float]) -> float:
         raise ValueError("pearson requires at least two samples")
     sx = ax.std()
     sy = ay.std()
-    if sx < 1e-15 or sy < 1e-15:
+    scale_x = float(np.abs(ax).max())
+    scale_y = float(np.abs(ay).max())
+    if sx <= _PEARSON_REL_TOL * scale_x or sy <= _PEARSON_REL_TOL * scale_y:
         return 0.0
     cov = float(((ax - ax.mean()) * (ay - ay.mean())).mean())
     return cov / float(sx * sy)

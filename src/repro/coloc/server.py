@@ -189,6 +189,13 @@ def run_colocated_server(
                            objective=objective, horizon_s=horizon)
 
     total = n_req * n_cores
+    # The horizon cap is a safety net for a wedged run (completions
+    # always drain queued work, so the completion count normally ends
+    # the loop long before `max arrival + 100 s`). Note: since DVFS
+    # transitions apply lazily (no FREQ_CHANGE heap events), the cap is
+    # checked at arrival/completion/allocator-tick granularity only —
+    # a capped run can process a few more of those than the event-driven
+    # machinery would have.
     while sum(len(c.completed) for c in cores) < total:
         if not sim.step():
             break

@@ -78,16 +78,34 @@ class Rubik(Scheme):
         self.profiler = DemandProfiler(profiler_window, min_samples)
         self.num_rows = num_rows
         self.max_explicit = max_explicit
-        self.vectorized = vectorized
+        self._vectorized = vectorized
         self.tables: Optional[TargetTailTables] = None
         self.trimmer: Optional[LatencyTargetTrimmer] = None
         self._last_table_update = float("-inf")
         self._samples_at_last_update = 0
         self.table_updates = 0
+        # Pre-bound hot-path dispatch: the hooks run twice per simulated
+        # event, and an if-dispatch per call is measurable there. The
+        # `vectorized` property setter keeps this in sync.
+        self._decide = (self._update_frequency_vectorized if vectorized
+                        else self._update_frequency_scalar)
 
     @property
     def name(self) -> str:  # type: ignore[override]
         return "Rubik" if self.feedback_enabled else "Rubik (No Feedback)"
+
+    @property
+    def vectorized(self) -> bool:
+        """Which Eq. 2 evaluation path the controller runs."""
+        return self._vectorized
+
+    @vectorized.setter
+    def vectorized(self, value: bool) -> None:
+        # Keep the pre-bound hot-path dispatch in sync with the flag so
+        # toggling after construction still takes effect.
+        self._vectorized = value
+        self._decide = (self._update_frequency_vectorized if value
+                        else self._update_frequency_scalar)
 
     # ------------------------------------------------------------------
     def setup(self, sim: Simulator, core: Core, context: SchemeContext) -> None:
@@ -107,7 +125,7 @@ class Rubik(Scheme):
     # ------------------------------------------------------------------
     def on_arrival(self, core: Core, request: Request) -> None:
         self._maybe_refresh_tables()
-        self._update_frequency(core)
+        self._decide(core)
 
     def on_completion(self, core: Core, request: Request) -> None:
         # Counter-measured demands of the completed request feed the model.
@@ -115,7 +133,7 @@ class Rubik(Scheme):
         if self.trimmer is not None:
             self.trimmer.observe(self.sim.now, request.response_time)
         self._maybe_refresh_tables()
-        self._update_frequency(core)
+        self._decide(core)
 
     # ------------------------------------------------------------------
     @property
@@ -147,12 +165,6 @@ class Rubik(Scheme):
         self._samples_at_last_update = self.profiler.total_observed
         self.table_updates += 1
 
-    def _update_frequency(self, core: Core) -> None:
-        if self.vectorized:
-            self._update_frequency_vectorized(core)
-        else:
-            self._update_frequency_scalar(core)
-
     def _update_frequency_vectorized(self, core: Core) -> None:
         """Eq. 2 over the whole queue in one NumPy expression.
 
@@ -167,24 +179,36 @@ class Rubik(Scheme):
         if n == 0:
             core.request_frequency(dvfs.min_hz)
             return
-        if self.tables is None:
+        tables = self.tables
+        if tables is None:
             core.request_frequency(dvfs.max_hz)
             return
 
-        target = self.internal_target_s
+        trimmer = self.trimmer
+        target = (trimmer.internal_target_s if trimmer is not None
+                  else self.context.latency_bound_s)
         elapsed_c, elapsed_m = core.current_request_elapsed()
-        cycles = self.tables.cycles
-        memory = self.tables.memory
+        cycles = tables.cycles
+        memory = tables.memory
         now = self.sim.now
 
-        if n <= cycles.max_explicit:
+        if n == 1:
+            # Single-request fast case (the dominant one at moderate
+            # load): no row-list iteration at all, same float64 ops.
+            slack = (target - (now - core.pending_arrivals[0])) - (
+                memory.tails_head_list(elapsed_m, 1)[0])
+            if slack <= 0.0:
+                required_hz = dvfs.nominal_hz
+            else:
+                required_hz = cycles.tails_head_list(elapsed_c, 1)[0] / slack
+        elif n <= cycles.max_explicit:
             # Shallow-queue fast path (the overwhelmingly common case):
             # one row lookup per demand type, then plain-float arithmetic
             # over cached row lists. Bit-identical to the array expression
             # below — same float64 operations in the same order — but
             # without per-call small-array dispatch overhead.
-            crow = cycles.row_tails_list(cycles._row_index(elapsed_c), n)
-            mrow = memory.row_tails_list(memory._row_index(elapsed_m), n)
+            crow = cycles.tails_head_list(elapsed_c, n)
+            mrow = memory.tails_head_list(elapsed_m, n)
             required_hz = 0.0
             any_hopeless = False
             for i, arrival in enumerate(core.pending_arrivals):

@@ -172,6 +172,12 @@ class TailTable:
             self._row_lists[row] = cached
         return cached
 
+    def tails_head_list(self, elapsed: float, count: int) -> list:
+        """``row_tails_list(_row_index(elapsed), count)`` in one call —
+        the per-event controller lookup, minus one method dispatch."""
+        return self.row_tails_list(
+            bisect.bisect_right(self._row_bounds_list, elapsed) - 1, count)
+
     # ------------------------------------------------------------------
     def row_for_elapsed(self, elapsed: float) -> int:
         """Row whose elapsed-work band contains ``elapsed``."""

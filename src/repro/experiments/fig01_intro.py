@@ -106,7 +106,8 @@ def run_fig1b(num_requests: int = 6000, seed: int = 21,
     static_run = run_trace(trace, static, context)
 
     rubik = Rubik()
-    rubik_run = run_trace(trace, rubik, context)
+    # Fig. 1b plots Rubik's frequency trace, so opt into history.
+    rubik_run = run_trace(trace, rubik, context, record_freq_history=True)
 
     def tail_series(run) -> Tuple[np.ndarray, np.ndarray]:
         finish = np.array([r.finish_time for r in run.requests])

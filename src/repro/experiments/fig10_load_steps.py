@@ -101,7 +101,11 @@ def run_step_response(app_name: str, seed: int = 21,
         "StaticOracle": run_trace(trace, static, context),
         "AdrenalineOracle": run_trace(trace, adren, context),
     }
-    rubik_run = run_trace(trace, Rubik(), context, log_segments=True)
+    # This driver consumes the segment log and the frequency-transition
+    # history (both opt-in): Fig. 10 plots power over time and Rubik's
+    # frequency choices.
+    rubik_run = run_trace(trace, Rubik(), context, log_segments=True,
+                          record_freq_history=True)
     runs["Rubik"] = rubik_run
 
     tails, powers = {}, {}

@@ -14,11 +14,54 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict
 
+import numpy as np
+
 from repro.power.model import CorePowerModel, CoreState
+
+#: Integer state codes for the batched segment interface (the hot path
+#: buffers plain floats; enums would force per-segment object traffic).
+BUSY_CODE, BATCH_CODE, IDLE_CODE = 0, 1, 2
+
+#: CoreState -> batched code, shared with the core's segment buffer.
+STATE_CODES = {
+    CoreState.BUSY: BUSY_CODE,
+    CoreState.BATCH: BATCH_CODE,
+    CoreState.IDLE: IDLE_CODE,
+}
+
+
+def _first_occurrence_unique(values: np.ndarray) -> np.ndarray:
+    """Unique values ordered by first occurrence (not sorted).
+
+    Residency dicts must gain keys in chronological order: histogram
+    normalization sums dict values in insertion order, and float addition
+    is order-sensitive — sorted key creation would shift totals by a ULP
+    relative to the one-record-per-segment accounting.
+    """
+    uniq, first_idx = np.unique(values, return_index=True)
+    return uniq[np.argsort(first_idx)]
+
+
+def _seq_add(acc: float, values: np.ndarray) -> float:
+    """Fold ``values`` into ``acc`` in strict left-to-right order.
+
+    Bitwise-identical to ``for v in values: acc += v``: cumulative sums
+    are computed sequentially (unlike ``np.sum``, which uses pairwise
+    summation and rounds differently), so batched integration reproduces
+    the exact floats of the old one-``record``-per-segment accounting.
+    """
+    if values.size == 0:
+        return acc
+    return float(np.cumsum(np.concatenate(((acc,), values)))[-1])
 
 
 class EnergyMeter:
-    """Integrates core power over piecewise-constant segments."""
+    """Integrates core power over piecewise-constant segments.
+
+    Segments arrive either one at a time (:meth:`record`) or as columnar
+    batches (:meth:`record_segments`, the simulator's fast path). Both
+    produce bitwise-identical totals for the same segment sequence.
+    """
 
     def __init__(self, model: CorePowerModel) -> None:
         self.model = model
@@ -57,6 +100,80 @@ class EnergyMeter:
         else:
             self.idle_energy_j += energy
         return energy
+
+    def record_segments(
+        self,
+        durations_s: np.ndarray,
+        state_codes: np.ndarray,
+        freqs_hz: np.ndarray,
+        mem_stall_fracs: np.ndarray,
+    ) -> np.ndarray:
+        """Account a chronological batch of segments in one shot.
+
+        Args:
+            durations_s: per-segment durations (non-negative).
+            state_codes: per-segment ``STATE_CODES`` values.
+            freqs_hz: per-segment core frequencies.
+            mem_stall_fracs: per-segment memory-stall fractions.
+
+        Returns:
+            Per-segment energies (joules), e.g. for a segment log.
+
+        Equivalent to calling :meth:`record` once per segment in order:
+        per-segment powers use the same cached (dynamic, leakage) pairs
+        and the same elementwise arithmetic, and every accumulator is
+        folded strictly left-to-right (see ``_seq_add``).
+        """
+        durations_s = np.asarray(durations_s, dtype=float)
+        if durations_s.size and float(durations_s.min()) < 0:
+            raise ValueError("duration must be non-negative")
+        state_codes = np.asarray(state_codes)
+        freqs_hz = np.asarray(freqs_hz, dtype=float)
+        mem_stall_fracs = np.asarray(mem_stall_fracs, dtype=float)
+
+        powers = np.empty_like(durations_s)
+        active = state_codes != IDLE_CODE
+        if active.any():
+            powers[active] = self.model.busy_power_values(
+                freqs_hz[active], mem_stall_fracs[active])
+        powers[~active] = self.model.sleep_power_w
+        all_energies = powers * durations_s
+
+        # record() skips zero-duration segments before touching any
+        # accumulator (including residency-dict key creation); match it.
+        keep = durations_s > 0
+        if keep.all():
+            energies = all_energies
+        else:
+            durations_s = durations_s[keep]
+            state_codes = state_codes[keep]
+            freqs_hz = freqs_hz[keep]
+            energies = all_energies[keep]
+
+        self.energy_j = _seq_add(self.energy_j, energies)
+        self.total_time_s = _seq_add(self.total_time_s, durations_s)
+        for f in _first_occurrence_unique(freqs_hz):
+            key = float(f)
+            self._freq_residency[key] = _seq_add(
+                self._freq_residency[key], durations_s[freqs_hz == f])
+
+        busy = state_codes == BUSY_CODE
+        self.active_energy_j = _seq_add(self.active_energy_j, energies[busy])
+        self.busy_time_s = _seq_add(self.busy_time_s, durations_s[busy])
+        if busy.any():
+            busy_freqs = freqs_hz[busy]
+            busy_durs = durations_s[busy]
+            for f in _first_occurrence_unique(busy_freqs):
+                key = float(f)
+                self._busy_freq_residency[key] = _seq_add(
+                    self._busy_freq_residency[key], busy_durs[busy_freqs == f])
+
+        batch = state_codes == BATCH_CODE
+        self.batch_energy_j = _seq_add(self.batch_energy_j, energies[batch])
+        self.batch_time_s = _seq_add(self.batch_time_s, durations_s[batch])
+        self.idle_energy_j = _seq_add(
+            self.idle_energy_j, energies[state_codes == IDLE_CODE])
+        return all_energies
 
     @property
     def mean_power_w(self) -> float:

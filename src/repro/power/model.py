@@ -22,6 +22,8 @@ from __future__ import annotations
 import dataclasses
 import enum
 
+import numpy as np
+
 from repro.config import (
     MAX_FREQUENCY_HZ,
     MIN_FREQUENCY_HZ,
@@ -149,6 +151,37 @@ class CorePowerModel:
         if state is CoreState.IDLE:
             return self.sleep_power_w
         return self.busy_power(freq_hz, mem_stall_frac)
+
+    def busy_power_values(self, freqs, mem_stall_fracs):
+        """Vectorized :meth:`busy_power` over parallel arrays.
+
+        Element ``i`` is bitwise-identical to
+        ``busy_power(freqs[i], mem_stall_fracs[i])``: the per-frequency
+        (dynamic, leakage) pairs come from the same cache, and the
+        combining arithmetic is the same two-operation expression applied
+        elementwise. Used by the batched segment integrator.
+        """
+        freqs = np.asarray(freqs, dtype=float)
+        mem_stall_fracs = np.asarray(mem_stall_fracs, dtype=float)
+        if mem_stall_fracs.size and (
+                float(mem_stall_fracs.min()) < 0.0
+                or float(mem_stall_fracs.max()) > 1.0):
+            # Same loud failure the scalar busy_power() raises — invalid
+            # stall fractions must not be silently integrated.
+            raise ValueError("mem_stall_frac must be in [0, 1]")
+        uniq, inverse = np.unique(freqs, return_inverse=True)
+        dyn_full = np.empty(uniq.shape)
+        leak = np.empty(uniq.shape)
+        for k, f in enumerate(uniq):
+            pair = self._fl_cache.get(float(f))
+            if pair is None:
+                # Route through busy_power so validation and caching stay
+                # in one place.
+                self.busy_power(float(f))
+                pair = self._fl_cache[float(f)]
+            dyn_full[k], leak[k] = pair
+        activity = (1.0 - mem_stall_fracs) + self.stall_activity * mem_stall_fracs
+        return dyn_full[inverse] * activity + leak[inverse]
 
     def energy_per_cycle(self, freq_hz: float) -> float:
         """Joules per compute cycle at ``freq_hz`` (busy, no stalls)."""

@@ -167,23 +167,41 @@ class AdrenalineOracle(Scheme):
             raise RuntimeError("AdrenalineOracle must be tuned before running")
         return self.setting.f_short_hz
 
-    def _frequency_for(self, request: Request) -> float:
+    def _is_long(self, request: Request) -> bool:
+        """Hint-predicted demand at/above the tuned long/short split."""
         assert self.setting is not None
         predicted = (request.predicted_cycles
                      if request.predicted_cycles is not None
                      else request.compute_cycles)
-        if predicted >= self.setting.threshold_cycles:
+        return predicted >= self.setting.threshold_cycles
+
+    def _frequency_for(self, request: Request) -> float:
+        assert self.setting is not None
+        if self._is_long(request):
             return self.setting.f_boost_hz
         return self.setting.f_short_hz
 
     def _retarget(self, core: Core) -> None:
-        """Run at the boost frequency iff any pending request is long."""
-        pending = core.pending_requests()
-        if not pending:
-            core.request_frequency(self.setting.f_short_hz)
+        """Run at the boost frequency iff any pending request is long.
+
+        Walks the in-service request and the queue directly (no
+        ``pending_requests()`` list build — this runs on every arrival
+        and completion) and stops at the first long request: with only
+        two levels, one boosted request decides the outcome.
+
+        Mid-run meter reads are not needed here, but any subclass that
+        adds energy feedback must honour the flush-hook contract:
+        ``core.flush_accounting()`` before touching ``core.meter``.
+        """
+        setting = self.setting
+        if core.current is not None and self._is_long(core.current):
+            core.request_frequency(setting.f_boost_hz)
             return
-        freq = max(self._frequency_for(r) for r in pending)
-        core.request_frequency(freq)
+        for request in core.queue:
+            if self._is_long(request):
+                core.request_frequency(setting.f_boost_hz)
+                return
+        core.request_frequency(setting.f_short_hz)
 
     def on_arrival(self, core: Core, request: Request) -> None:
         self._retarget(core)

@@ -10,9 +10,19 @@ bench that quantifies the feedback-only gap against Rubik.
 The controller follows Pegasus's published rules: large violation ->
 jump to max; small violation -> step up; comfortably below the target ->
 step down; otherwise hold.
+
+The real system also watches server power (it reads RAPL alongside the
+latency histogram), so each adjustment here records the mean core power
+of the window it just acted on. That observation reads ``core.meter``
+*mid-run*, which under the batched segment accounting requires the
+explicit flush hook: ``core.flush_accounting()`` integrates the pending
+segment buffer first (a no-op for totals — integration is
+order-preserving — so telemetry never perturbs the energy results).
 """
 
 from __future__ import annotations
+
+from typing import List, Tuple
 
 from repro.analysis.windows import RollingTailEstimator
 from repro.schemes.base import Scheme, SchemeContext
@@ -55,6 +65,11 @@ class Pegasus(Scheme):
         self.min_window_samples = min_window_samples
         self._last_adjust = float("-inf")
         self.adjustments = 0
+        #: (time, mean core watts since the previous adjustment) — the
+        #: power feed a deployed Pegasus reads next to its latency feed.
+        self.power_log: List[Tuple[float, float]] = []
+        self._last_energy_j = 0.0
+        self._last_time_s = 0.0
 
     def setup(self, sim: Simulator, core: Core, context: SchemeContext) -> None:
         super().setup(sim, core, context)
@@ -73,6 +88,7 @@ class Pegasus(Scheme):
         if self._estimator.count() < self.min_window_samples:
             return
         self._last_adjust = now
+        self._observe_power(core, now)
         measured = self._estimator.tail(now)
         assert measured is not None
         ratio = measured / self.context.latency_bound_s
@@ -85,3 +101,15 @@ class Pegasus(Scheme):
             self._level = max(0, self._level - 1)
         self.adjustments += 1
         core.request_frequency(grid[self._level])
+
+    def _observe_power(self, core: Core, now: float) -> None:
+        """Record the window's mean core power (the flush-hook contract:
+        integrate buffered segments before reading the meter mid-run)."""
+        core.flush_accounting()
+        meter = core.meter
+        d_energy = meter.energy_j - self._last_energy_j
+        d_time = meter.total_time_s - self._last_time_s
+        if d_time > 0:
+            self.power_log.append((now, d_energy / d_time))
+        self._last_energy_j = meter.energy_j
+        self._last_time_s = meter.total_time_s

@@ -90,10 +90,41 @@ class Simulator:
             raise ValueError("delay must be non-negative")
         return self.schedule(self.now + delay, callback, priority)
 
+    def schedule_entry(self, time: float, callback: Callable[[], None],
+                       priority: int = 0) -> list:
+        """Raw-entry scheduling fast path for per-event hot loops.
+
+        Same ordering semantics as :meth:`schedule` but returns the bare
+        heap entry instead of wrapping it in an :class:`Event`; cancel by
+        setting ``entry[3] = None``. The caller guarantees ``time`` is
+        not in the past (completion times are computed from the current
+        clock, so the validation would never fire).
+        """
+        entry = [time if time > self.now else self.now, priority,
+                 next(self._seq), callback]
+        heapq.heappush(self._heap, entry)
+        return entry
+
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None if the queue is empty."""
         self._drop_cancelled()
         return self._heap[0][_TIME] if self._heap else None
+
+    def advance_to(self, time: float) -> None:
+        """Advance the clock to ``time`` without firing an event.
+
+        Used by lazily-applied state machines (e.g. an in-flight DVFS
+        transition) to settle past the last event of a drained run, where
+        the event loop no longer advances the clock for them. Refuses to
+        jump over pending events — that would fire them out of order.
+        """
+        if time <= self.now:
+            return
+        nxt = self.peek_time()
+        if nxt is not None and nxt < time:
+            raise ValueError(
+                f"cannot advance to {time}: event pending at {nxt}")
+        self.now = time
 
     def _drop_cancelled(self) -> None:
         while self._heap and self._heap[0][_CALLBACK] is None:

@@ -19,7 +19,7 @@ import dataclasses
 from typing import Optional
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Request:
     """A single latency-critical request.
 

@@ -100,6 +100,7 @@ def run_trace(
     warmup: Optional[int] = None,
     log_segments: bool = False,
     dvfs_config: Optional[DvfsConfig] = None,
+    record_freq_history: bool = False,
 ) -> RunResult:
     """Simulate one core serving ``trace`` under ``scheme``.
 
@@ -112,24 +113,43 @@ def run_trace(
             (default: 2% of the trace, at least 10, at most 200).
         log_segments: record per-segment power for power-over-time plots.
         dvfs_config: overrides ``context.dvfs`` when given.
+        record_freq_history: populate ``RunResult.freq_history`` (one
+            tuple per DVFS transition). Off by default — only the
+            Fig. 1b/10 frequency-trace plots consume it; sweep drivers
+            should leave it off.
 
     Returns:
         RunResult with per-request records and energy accounting.
     """
     sim = Simulator()
     dvfs = dvfs_config if dvfs_config is not None else context.dvfs
-    core = Core(sim, dvfs, power_model, log_segments=log_segments)
+    core = Core(sim, dvfs, power_model, log_segments=log_segments,
+                record_freq_history=record_freq_history)
     scheme.setup(sim, core, context)
 
+    # Arrivals are fed one at a time (each schedules its successor)
+    # instead of heaping the whole trace upfront: the heap stays 2-3
+    # entries deep, so every push/pop sifts O(1) instead of O(log n).
+    # Order is unchanged — the trace is time-sorted, so chained events
+    # carry increasing sequence numbers exactly like the upfront loop.
     requests = trace.to_requests()
-    for req in requests:
-        sim.schedule(
-            req.arrival_time,
-            (lambda r=req: core.enqueue(r)),
-            priority=ARRIVAL_PRIORITY,
-        )
+
+    def feed(index: int) -> None:
+        req = requests[index]
+        nxt = index + 1
+        if nxt < len(requests):
+            sim.schedule_entry(requests[nxt].arrival_time,
+                               (lambda: feed(nxt)),
+                               priority=ARRIVAL_PRIORITY)
+        core.enqueue(req)
+
+    if requests:
+        sim.schedule_entry(requests[0].arrival_time, (lambda: feed(0)),
+                           priority=ARRIVAL_PRIORITY)
     sim.run()
-    core.finalize()
+    # The event loop used to advance through trailing FREQ_CHANGE events;
+    # with lazy transitions the fully-drained run settles explicitly.
+    core.finalize(settle_dvfs=True)
 
     if warmup is None:
         warmup = min(200, max(10, len(requests) // 50))
@@ -148,7 +168,8 @@ def run_trace(
         utilization=meter.utilization,
         busy_freq_hist=meter.busy_frequency_histogram(),
         dvfs_transitions=core.dvfs.transitions,
-        freq_history=list(core.dvfs.history),
+        freq_history=(list(core.dvfs.history)
+                      if core.dvfs.history is not None else []),
         segment_log=core.segment_log,
         events_processed=sim.events_processed,
     )

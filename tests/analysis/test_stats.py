@@ -55,6 +55,36 @@ class TestPearson:
         x, y = rng.normal(size=5000), rng.normal(size=5000)
         assert abs(pearson(x, y)) < 0.05
 
+    def test_large_magnitude_near_constant_is_constant(self):
+        """Table 1 regression: ns-scale latencies that are constant up to
+        float rounding noise must read as constant (r = 0), not as a
+        correlation of rounding artifacts. The old absolute 1e-15
+        threshold saw std ~1e-5 here and happily divided by it."""
+        rng = np.random.default_rng(7)
+        base = 2.4e9  # "2.4 s in ns" — large-magnitude, constant data
+        x = np.full(200, base) + rng.normal(0.0, 1e-5, 200)
+        y = rng.normal(size=200)
+        assert np.std(x) > 1e-15  # the old threshold would NOT fire
+        assert pearson(x, y) == 0.0
+
+    def test_large_magnitude_real_variation_still_correlates(self):
+        """The relative tolerance must not swallow genuine variation on
+        large-magnitude data."""
+        rng = np.random.default_rng(8)
+        x = 2.4e9 + rng.normal(0.0, 1e3, 500)  # real jitter, tiny CV
+        y = 3.0 * x + rng.normal(0.0, 1e2, 500)
+        assert pearson(x, y) == pytest.approx(1.0, abs=0.05)
+
+    def test_tiny_magnitude_real_variation_not_constant(self):
+        """Sub-1e-15 std with real relative variation is *not* constant
+        (the old absolute threshold returned 0 here)."""
+        x = np.array([1e-20, 2e-20, 3e-20])
+        y = np.array([2e-20, 4e-20, 6e-20])
+        assert pearson(x, y) == pytest.approx(1.0)
+
+    def test_all_zero_input_is_constant(self):
+        assert pearson([0.0, 0.0, 0.0], [1.0, 2.0, 3.0]) == 0.0
+
     def test_rejects_mismatched(self):
         with pytest.raises(ValueError):
             pearson([1, 2], [1, 2, 3])

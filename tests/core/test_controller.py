@@ -25,7 +25,7 @@ class TestFrequencyPolicy:
         ctx = make_context(MASSTREE, 3, 2000)
         rubik = Rubik()
         trace = small_trace(n=2000)
-        run = run_trace(trace, rubik, ctx)
+        run = run_trace(trace, rubik, ctx, record_freq_history=True)
         # The controller's first request (right after the domain's
         # nominal start entry) is the grid max.
         assert run.freq_history[1][1] == ctx.dvfs.max_hz
@@ -34,7 +34,8 @@ class TestFrequencyPolicy:
     def test_parks_at_min_when_idle(self):
         ctx = make_context(MASSTREE, 3, 2000)
         rubik = Rubik()
-        run = run_trace(small_trace(load=0.05, n=500), rubik, ctx)
+        run = run_trace(small_trace(load=0.05, n=500), rubik, ctx,
+                        record_freq_history=True)
         # At 5% load, the controller should spend most wall time parked.
         hist = {f: v for f, v in run.freq_history}
         assert ctx.dvfs.min_hz in [f for _, f in run.freq_history]
@@ -106,7 +107,7 @@ class TestAdaptation:
         schedule = LoadSchedule.from_loads(
             [(0.0, 0.3), (0.5, 0.6)], app.saturation_qps)
         trace = Trace.generate(app, schedule, 4000, 5)
-        run = run_trace(trace, Rubik(), ctx)
+        run = run_trace(trace, Rubik(), ctx, record_freq_history=True)
         hist = np.array(run.freq_history)
         before = hist[(hist[:, 0] > 0.2) & (hist[:, 0] < 0.5)][:, 1]
         after = hist[(hist[:, 0] > 0.6) & (hist[:, 0] < 0.9)][:, 1]

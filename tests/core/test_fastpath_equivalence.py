@@ -131,8 +131,10 @@ class TestControllerEquivalence:
         runs = {}
         for vectorized in (False, True):
             runs[vectorized] = run_trace(
-                trace, Rubik(vectorized=vectorized), ctx)
+                trace, Rubik(vectorized=vectorized), ctx,
+                record_freq_history=True)
         scalar, vector = runs[False], runs[True]
+        assert scalar.freq_history  # opt-in must actually record
 
         # Identical frequency *request* outcomes: the applied-transition
         # history must match event for event.
@@ -151,7 +153,9 @@ class TestControllerEquivalence:
         (not just the shallow fast path) is exercised."""
         ctx = make_context(MASSTREE, 13, 2000)
         trace = Trace.generate_at_load(MASSTREE, 1.4, 2000, 13)
-        runs = [run_trace(trace, Rubik(vectorized=v, max_explicit=4), ctx)
+        runs = [run_trace(trace, Rubik(vectorized=v, max_explicit=4), ctx,
+                          record_freq_history=True)
                 for v in (False, True)]
+        assert runs[0].freq_history  # opt-in must actually record
         assert runs[0].freq_history == runs[1].freq_history
         assert runs[0].energy_j == pytest.approx(runs[1].energy_j, rel=1e-9)

@@ -77,3 +77,85 @@ class TestHistograms:
         m.record(1.0, CoreState.BUSY, 2.4e9)
         m.record(1.0, CoreState.IDLE, 2.4e9)
         assert m.frequency_histogram()[2.4e9] == pytest.approx(1.0)
+
+
+class TestBatchedSegments:
+    """record_segments must be bitwise-equal to per-segment record()."""
+
+    @staticmethod
+    def _random_segments(seed, n=500):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        durations = rng.exponential(1e-4, n)
+        durations[rng.random(n) < 0.05] = 0.0  # zero-duration closes
+        states = rng.integers(0, 3, n)
+        grid = np.array([0.8e9, 1.6e9, 2.4e9, 3.4e9])
+        freqs = grid[rng.integers(0, len(grid), n)]
+        mems = rng.random(n) * 0.9
+        mems[states == 2] = 0.0
+        return durations, states, freqs, mems
+
+    def test_matches_scalar_record_bitwise(self):
+        import numpy as np
+
+        from repro.power.energy import STATE_CODES
+
+        durations, states, freqs, mems = self._random_segments(0)
+        code_to_state = {v: k for k, v in STATE_CODES.items()}
+
+        scalar = EnergyMeter(PM)
+        scalar_energies = []
+        for d, s, f, mf in zip(durations, states, freqs, mems):
+            scalar_energies.append(
+                scalar.record(float(d), code_to_state[int(s)], float(f),
+                              float(mf)))
+        batched = EnergyMeter(PM)
+        energies = batched.record_segments(durations, states, freqs, mems)
+
+        # Bitwise: == on floats, not approx.
+        assert batched.energy_j == scalar.energy_j
+        assert batched.active_energy_j == scalar.active_energy_j
+        assert batched.batch_energy_j == scalar.batch_energy_j
+        assert batched.idle_energy_j == scalar.idle_energy_j
+        assert batched.total_time_s == scalar.total_time_s
+        assert batched.busy_time_s == scalar.busy_time_s
+        assert batched.batch_time_s == scalar.batch_time_s
+        assert batched.busy_frequency_histogram() == \
+            scalar.busy_frequency_histogram()
+        assert batched.frequency_histogram() == scalar.frequency_histogram()
+        np.testing.assert_array_equal(energies, np.array(scalar_energies))
+
+    def test_flush_partitioning_is_bitwise_neutral(self):
+        """Integrating in many small batches == one big batch: the
+        accumulators are folded with a carry, so mid-run flushes (the
+        flush-hook contract) never perturb totals."""
+        durations, states, freqs, mems = self._random_segments(1)
+        one = EnergyMeter(PM)
+        one.record_segments(durations, states, freqs, mems)
+        many = EnergyMeter(PM)
+        for lo in range(0, len(durations), 37):
+            hi = lo + 37
+            many.record_segments(durations[lo:hi], states[lo:hi],
+                                 freqs[lo:hi], mems[lo:hi])
+        assert many.energy_j == one.energy_j
+        assert many.active_energy_j == one.active_energy_j
+        assert many.busy_time_s == one.busy_time_s
+        assert many.busy_frequency_histogram() == one.busy_frequency_histogram()
+
+    def test_rejects_negative_duration(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            EnergyMeter(PM).record_segments(
+                np.array([-1.0]), np.array([0]), np.array([2.4e9]),
+                np.array([0.0]))
+
+    def test_zero_duration_creates_no_residency_keys(self):
+        import numpy as np
+
+        m = EnergyMeter(PM)
+        m.record_segments(np.array([0.0]), np.array([0]),
+                          np.array([2.4e9]), np.array([0.0]))
+        assert m.frequency_histogram() == {}
+        assert m.total_time_s == 0.0

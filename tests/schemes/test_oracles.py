@@ -30,13 +30,15 @@ def setup():
 class TestFixedFrequency:
     def test_defaults_to_nominal(self, setup):
         ctx, trace = setup
-        run = run_trace(trace, FixedFrequency(), ctx)
+        run = run_trace(trace, FixedFrequency(), ctx,
+                        record_freq_history=True)
         assert run.freq_history[0][1] == ctx.dvfs.nominal_hz
         assert run.dvfs_transitions == 0
 
     def test_explicit_frequency(self, setup):
         ctx, trace = setup
-        run = run_trace(trace, FixedFrequency(1.2e9), ctx)
+        run = run_trace(trace, FixedFrequency(1.2e9), ctx,
+                        record_freq_history=True)
         # history[0] is the DVFS domain's nominal start; the scheme's
         # setting applies from the first transition on.
         assert all(f == 1.2e9 for _, f in run.freq_history[1:])

@@ -13,7 +13,7 @@ class TestPegasus:
     def test_starts_at_max(self):
         ctx = make_context(MASSTREE, 5, 2000)
         trace = Trace.generate_at_load(MASSTREE, 0.3, 2000, 5)
-        run = run_trace(trace, Pegasus(), ctx)
+        run = run_trace(trace, Pegasus(), ctx, record_freq_history=True)
         assert run.freq_history[1][1] == ctx.dvfs.max_hz
 
     def test_steps_down_at_low_load(self):
@@ -22,7 +22,7 @@ class TestPegasus:
         ctx = make_context(MASSTREE, 5, 6000)
         trace = Trace.generate_at_load(MASSTREE, 0.2, 6000, 5)
         scheme = Pegasus(adjust_period_s=0.2)
-        run = run_trace(trace, scheme, ctx)
+        run = run_trace(trace, scheme, ctx, record_freq_history=True)
         final_freqs = [f for t, f in run.freq_history if t > run.duration_s / 2]
         assert final_freqs and min(final_freqs) < ctx.dvfs.nominal_hz
         assert scheme.adjustments > 3
@@ -49,3 +49,39 @@ class TestPegasus:
             Pegasus(window_s=0)
         with pytest.raises(ValueError):
             Pegasus(step_down_margin=2.0)
+
+
+class TestPegasusPowerTelemetry:
+    def test_power_log_records_window_means(self):
+        from repro.experiments.common import make_context
+        from repro.sim.server import run_trace
+        from repro.sim.trace import Trace
+        from repro.workloads.apps import MASSTREE
+
+        ctx = make_context(MASSTREE, 5, 6000)
+        trace = Trace.generate_at_load(MASSTREE, 0.3, 6000, 5)
+        scheme = Pegasus(adjust_period_s=0.2)
+        run = run_trace(trace, scheme, ctx)
+        # One power sample per adjustment, all positive and bounded by
+        # the run's own extremes.
+        assert len(scheme.power_log) == scheme.adjustments
+        assert scheme.power_log
+        times = [t for t, _ in scheme.power_log]
+        assert times == sorted(times)
+        for _, watts in scheme.power_log:
+            assert 0.0 < watts < 50.0
+
+    def test_midrun_flushes_do_not_perturb_energy(self):
+        """The flush-hook contract: Pegasus's mid-run meter reads must
+        leave the final energy bitwise-identical to a scheme-free run's
+        accounting invariants (energy = sum of state components)."""
+        from repro.experiments.common import make_context
+        from repro.sim.server import run_trace
+        from repro.sim.trace import Trace
+        from repro.workloads.apps import MASSTREE
+
+        ctx = make_context(MASSTREE, 5, 3000)
+        trace = Trace.generate_at_load(MASSTREE, 0.3, 3000, 5)
+        run = run_trace(trace, Pegasus(adjust_period_s=0.2), ctx)
+        assert run.energy_j == pytest.approx(
+            run.active_energy_j + run.idle_energy_j, rel=1e-12)

@@ -114,3 +114,67 @@ class TestPoissonArrivals:
         rng = np.random.default_rng(42)
         arr = generate_poisson_arrivals(LoadSchedule.constant(rate), n, rng)
         assert np.all(np.diff(arr) >= 0)
+
+
+class TestPoissonZeroRateAndStepBoundaries:
+    """Fig. 10 load-step path: zero-rate gaps and exact step boundaries,
+    cross-checked against the schedule's own rate_at/mean_rate."""
+
+    SCHED = LoadSchedule(((0.0, 800.0), (1.0, 0.0), (2.5, 400.0)))
+
+    def test_rate_at_agrees_with_empirical_counts(self):
+        rng = np.random.default_rng(11)
+        arr = generate_poisson_arrivals(self.SCHED, 4000, rng)
+        for lo, hi in ((0.0, 1.0), (1.0, 2.5), (2.5, 4.0)):
+            count = int(np.sum((arr >= lo) & (arr < hi)))
+            mid_rate = self.SCHED.rate_at((lo + hi) / 2.0)
+            expected = mid_rate * (hi - lo)
+            if expected == 0:
+                assert count == 0  # the zero-rate gap produces nothing
+            else:
+                assert count == pytest.approx(expected, rel=0.15)
+
+    def test_zero_rate_gap_is_empty_and_resumes_at_boundary(self):
+        rng = np.random.default_rng(12)
+        arr = generate_poisson_arrivals(self.SCHED, 3000, rng)
+        in_gap = arr[(arr >= 1.0) & (arr < 2.5)]
+        assert in_gap.size == 0
+        # Memorylessness: the first post-gap arrival lands exp(1/rate)
+        # after the 2.5 s boundary, so typically within a few gaps.
+        after = arr[arr >= 2.5]
+        assert after.size > 0
+        assert after[0] - 2.5 < 0.1
+
+    def test_arrival_exactly_at_step_uses_new_rate_like_rate_at(self):
+        """rate_at(t) returns the *new* rate at a step time t; the
+        generator's interval logic must agree (work crossing a boundary
+        is rescaled to the rate in force from that boundary on)."""
+        sched = LoadSchedule(((0.0, 1e-9), (10.0, 1e6)))
+        assert sched.rate_at(10.0) == 1e6
+        rng = np.random.default_rng(13)
+        arr = generate_poisson_arrivals(sched, 500, rng)
+        # At a femto-rate before the step, effectively every arrival is
+        # pushed past the boundary and drawn at the fast rate.
+        assert arr[0] >= 10.0
+        assert np.all(arr >= 10.0)
+        assert arr[-1] - 10.0 < 0.1  # 500 arrivals at 1e6/s: ~0.5 ms
+
+    def test_mean_rate_matches_overall_throughput(self):
+        rng = np.random.default_rng(14)
+        arr = generate_poisson_arrivals(self.SCHED, 4000, rng)
+        horizon = float(arr[-1])
+        measured = len(arr) / horizon
+        assert measured == pytest.approx(self.SCHED.mean_rate(horizon),
+                                         rel=0.1)
+
+    def test_consecutive_zero_rate_intervals_skipped(self):
+        sched = LoadSchedule(((0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 50.0)))
+        rng = np.random.default_rng(15)
+        arr = generate_poisson_arrivals(sched, 50, rng)
+        assert arr[0] >= 3.0
+
+    def test_trailing_zero_rate_exhausts_with_clear_error(self):
+        sched = LoadSchedule(((0.0, 1000.0), (0.01, 0.0)))
+        rng = np.random.default_rng(16)
+        with pytest.raises(ValueError, match="zero forever"):
+            generate_poisson_arrivals(sched, 100, rng)

@@ -238,6 +238,55 @@ class TestBackgroundBatch:
         assert charged == [pytest.approx(1e-3)]
         assert r.compute_cycles == pytest.approx(2e6)  # inflated
 
+    def test_queued_handoff_unchanged_and_never_charged(self):
+        """Regression for the completion->next-request handoff now
+        routing through _begin_service: a queued request taking over the
+        core back-to-back must start exactly at its predecessor's finish
+        time and must NOT be charged interference (no batch interval ran
+        in between) — the unified path must behave exactly like the old
+        inlined one."""
+        sim = Simulator()
+        batch = FakeBatch()
+        charged = []
+
+        def interference(interval, request):
+            charged.append((interval, request.rid))
+            return 5e5
+
+        core = Core(sim, CFG, PM, background=batch,
+                    interference_cycles=interference)
+        # Batch runs [0, 1ms); r1 arrives at 1 ms, r2 queues behind it.
+        r1, r2 = req(0, cycles=1e6), req(1, at=1.1e-3, cycles=1e6)
+        sim.schedule(1e-3, lambda: core.enqueue(r1))
+        sim.schedule(1.1e-3, lambda: core.enqueue(r2))
+        sim.run()
+        core.finalize()
+        # Only the first request after the batch interval is charged.
+        assert [rid for _, rid in charged] == [0]
+        assert r1.compute_cycles == pytest.approx(1.5e6)  # inflated
+        assert r2.compute_cycles == pytest.approx(1e6)    # untouched
+        # Handoff is seamless: r2 starts the instant r1 finishes.
+        assert r2.start_time == pytest.approx(r1.finish_time)
+        # The batch interval restarts only after the queue drains.
+        assert batch.run_time == pytest.approx(1e-3)
+
+    def test_handoff_after_new_batch_interval_charges_again(self):
+        """If the queue drains and batch runs again, the next LC request
+        is charged for the *new* interval — pinning that the unified
+        _begin_service path keeps per-interval accounting."""
+        sim = Simulator()
+        batch = FakeBatch()
+        charged = []
+        core = Core(sim, CFG, PM, background=batch,
+                    interference_cycles=lambda i, r: charged.append(i) or 0.0)
+        sim.schedule(1e-3, lambda: core.enqueue(req(0, cycles=1e6)))
+        # First request done at 2 ms (1 GHz batch freq); batch resumes,
+        # then a second burst arrives at 3 ms.
+        sim.schedule(3e-3, lambda: core.enqueue(req(1, cycles=1e6)))
+        sim.run()
+        core.finalize()
+        assert charged == [pytest.approx(1e-3), pytest.approx(1e-3)]
+
     def test_no_interference_without_batch_interval(self):
         sim = Simulator()
         batch = FakeBatch()
