@@ -13,6 +13,10 @@ the repo's history:
 * ``load_sweep``: wall-clock of an end-to-end Fig. 9 load sweep for one
   app (all five schemes per load) — the repo's headline experiment
   benchmark.
+* ``regenerate``: the unified experiment-runner flow
+  (:func:`repro.experiments.runner.regenerate`) over a driver subset at
+  reduced scale — one shared worker pool, memoized latency bounds — the
+  regeneration-matrix counterpart of ``load_sweep``.
 
 Usage::
 
@@ -29,6 +33,8 @@ running full figures.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import io
 import json
 import math
 import platform
@@ -40,14 +46,16 @@ import numpy as np
 from repro.core.controller import Rubik
 from repro.core.histogram import Histogram
 from repro.core.tail_tables import TargetTailTables
-from repro.experiments.common import make_context
+from repro.experiments import runner
+from repro.experiments.common import latency_bound, make_context
 from repro.experiments.fig09_load_sweep import run_load_sweep
+from repro.perf import pools_created
 from repro.sim.server import run_trace
 from repro.sim.trace import Trace
 from repro.workloads.apps import APPS
 
 #: Which PR this bench file tracks (bump per perf-relevant PR).
-PR_NUMBER = 2
+PR_NUMBER = 3
 
 #: Seed-measured reference numbers for the same workloads, recorded on
 #: the machine that produced BENCH_PR1.json before the PR 1 fast paths
@@ -67,6 +75,15 @@ PR1_BASELINE = {
     "load_sweep_s": 1.955133713000123,
 }
 
+#: PR 2's recorded numbers (BENCH_PR2.json). PR 3's lever: the unified
+#: runner (shared worker pool + memoized latency bounds); single-run hot
+#: paths are untouched, so ``rubik_run``/``load_sweep`` should hold
+#: steady and ``regenerate`` becomes the new tracked section.
+PR2_BASELINE = {
+    "rubik_run_s": 0.12004652299947338,
+    "load_sweep_s": 1.673809859999892,
+}
+
 #: Events-per-request ceiling for the Rubik run: one arrival + one
 #: completion per request and nothing else (DVFS transitions no longer
 #: consume simulator events). The perf_smoke guard fails if event churn
@@ -82,6 +99,8 @@ FULL = {
     "run_load": 0.5,
     "sweep_loads": (0.2, 0.4, 0.5, 0.6, 0.8),
     "sweep_requests": 4000,
+    "regen_experiments": ("fig06", "table1", "ablations"),
+    "regen_requests": 800,
 }
 QUICK = {
     "table_reps": 5,
@@ -89,6 +108,8 @@ QUICK = {
     "run_load": 0.5,
     "sweep_loads": (0.3, 0.6),
     "sweep_requests": 1200,
+    "regen_experiments": ("table1", "ablations"),
+    "regen_requests": 600,
 }
 
 
@@ -160,6 +181,7 @@ def bench_controller_events(num_requests: int, load: float,
     if num_requests == FULL["run_requests"]:
         out["speedup_vs_seed"] = SEED_BASELINE["rubik_run_s"] / wall
         out["speedup_vs_pr1"] = PR1_BASELINE["rubik_run_s"] / wall
+        out["speedup_vs_pr2"] = PR2_BASELINE["rubik_run_s"] / wall
         out["events_vs_pr1"] = (result.events_processed
                                 / PR1_BASELINE["rubik_run_events"])
     return out
@@ -176,7 +198,41 @@ def bench_load_sweep(loads, num_requests: int) -> Dict[str, float]:
             num_requests == FULL["sweep_requests"]:
         out["speedup_vs_seed"] = SEED_BASELINE["load_sweep_s"] / wall
         out["speedup_vs_pr1"] = PR1_BASELINE["load_sweep_s"] / wall
+        out["speedup_vs_pr2"] = PR2_BASELINE["load_sweep_s"] / wall
     return out
+
+
+def bench_regenerate(experiments, num_requests: int) -> Dict[str, float]:
+    """The unified experiment-runner flow over a driver subset.
+
+    Times ``runner.regenerate`` (reports suppressed — stdout is not the
+    thing being measured) and records the subsystem's two structural
+    guarantees alongside the wall-clock: how many worker pools the flow
+    spawned (at most one; zero on a single-CPU machine, where everything
+    stays on the serial path) and how many latency-bound replays the
+    memo actually ran vs. how many call sites asked. The bound counts
+    come from this process's cache, so they describe the full flow only
+    when it stayed serial; once a pool spawns, each worker holds its own
+    (uninstrumented) cache, and the counts are reported as ``None``
+    rather than pretending the parent saw everything.
+    """
+    latency_bound.cache_clear()
+    pools_before = pools_created()
+    t0 = time.perf_counter()
+    with contextlib.redirect_stdout(io.StringIO()):
+        reports = runner.regenerate(experiments, num_requests=num_requests)
+    wall = time.perf_counter() - t0
+    pools = pools_created() - pools_before
+    bounds = latency_bound.cache_info()
+    serial = pools == 0
+    return {
+        "wall_s": wall,
+        "experiments": list(reports),
+        "pools_created": pools,
+        "latency_bound_computed": bounds.misses if serial else None,
+        "latency_bound_requested":
+            bounds.misses + bounds.hits if serial else None,
+    }
 
 
 def run_benchmarks(quick: bool = False) -> Dict:
@@ -192,11 +248,14 @@ def run_benchmarks(quick: bool = False) -> Dict:
         },
         "seed_baseline": SEED_BASELINE,
         "pr1_baseline": PR1_BASELINE,
+        "pr2_baseline": PR2_BASELINE,
         "table_build": bench_table_build(cfg["table_reps"]),
         "controller_events": bench_controller_events(
             cfg["run_requests"], cfg["run_load"]),
         "load_sweep": bench_load_sweep(
             cfg["sweep_loads"], cfg["sweep_requests"]),
+        "regenerate": bench_regenerate(
+            cfg["regen_experiments"], cfg["regen_requests"]),
     }
     return results
 

@@ -52,6 +52,30 @@ def test_quick_bench_emits_trajectory_point(tmp_path):
     assert sweep["wall_s"] > 0
     assert sweep["points"] == len(run_bench.QUICK["sweep_loads"])
 
+    # Unified-runner guards: one regenerate-all invocation spawns the
+    # shared worker pool at most once (zero on a single-CPU machine,
+    # where the whole flow stays serial), and the process-wide
+    # latency-bound memo means each (app, seed, num_requests) bound is
+    # replayed at most once no matter how many points ask for it.
+    regen = results["regenerate"]
+    assert regen["wall_s"] > 0
+    assert list(regen["experiments"]) == \
+        list(run_bench.QUICK["regen_experiments"])
+    assert regen["pools_created"] <= 1, (
+        f"regenerate-all spawned {regen['pools_created']} pools; the "
+        "shared WorkerPool must be created at most once per invocation")
+    if regen["pools_created"] == 0:
+        # Serial flow: the parent cache saw every bound request. table1
+        # needs no bound; every ablation point shares (masstree,
+        # seed 21, 600) — one replay total, however many points ask.
+        assert regen["latency_bound_computed"] == 1
+        assert regen["latency_bound_requested"] >= 1
+    else:
+        # Pooled flow: per-worker caches are not aggregated, and the
+        # bench must say so rather than report parent-only counts.
+        assert regen["latency_bound_computed"] is None
+        assert regen["latency_bound_requested"] is None
+
     # The seed reference the trajectory is measured against is recorded
     # alongside every point.
     assert results["seed_baseline"] == run_bench.SEED_BASELINE

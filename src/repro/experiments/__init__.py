@@ -1,3 +1,7 @@
 """One experiment module per paper table/figure (see DESIGN.md Sec. 4
 for the experiment index). Each module exposes ``run_*`` functions
-returning structured results and a ``main()`` that prints the report."""
+returning structured results and a ``main()`` that prints the report.
+
+:mod:`repro.experiments.runner` registers every driver behind a common
+interface; ``python -m repro.experiments`` regenerates any subset of
+figures/tables through one shared worker pool."""

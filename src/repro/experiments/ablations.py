@@ -15,12 +15,14 @@ design on a common workload point (masstree @40% load):
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.analysis.tables import render_table
 from repro.config import NOMINAL_FREQUENCY_HZ
 from repro.core.controller import Rubik
-from repro.experiments.common import make_context
+from repro.experiments.common import latency_bound, make_context
+from repro.perf import parallel_map
+from repro.schemes.base import Scheme
 from repro.schemes.pegasus import Pegasus
 from repro.schemes.replay import replay
 from repro.schemes.static_oracle import StaticOracle
@@ -29,6 +31,22 @@ from repro.sim.trace import Trace
 from repro.workloads.apps import MASSTREE
 
 LOAD = 0.4
+
+#: Variant name -> controller factory (fresh instance per run; built
+#: inside the worker so only the name crosses the process boundary).
+VARIANTS: Dict[str, Callable[[], Scheme]] = {
+    "Rubik (paper config)": Rubik,
+    "no feedback": lambda: Rubik(feedback=False),
+    "quartile rows": lambda: Rubik(num_rows=4),
+    "single row (no conditioning)": lambda: Rubik(num_rows=1),
+    "CLT after 4 columns": lambda: Rubik(max_explicit=4),
+    "1 s table refresh": lambda: Rubik(update_period_s=1.0),
+    "Pegasus (feedback only)": Pegasus,
+}
+
+#: Pseudo-variants handled specially by the point worker.
+_BASELINE = "__fixed_baseline__"
+_STATIC_REF = "StaticOracle (reference)"
 
 
 @dataclasses.dataclass
@@ -51,40 +69,56 @@ class AblationResult:
                   f"bound={self.bound_ms:.3f} ms)")
 
 
-def run_ablations(num_requests: Optional[int] = None,
-                  seed: int = 21) -> AblationResult:
-    """Run every ablation variant on the same trace."""
+def _ablation_point(args: Tuple[str, Optional[int], int]
+                    ) -> Tuple[float, float, float]:
+    """One variant run: (mean power, tail/bound, violation rate).
+
+    Module-level for the parallel sweep executor. The trace and the
+    (memoized) latency bound are re-derived in-process from the seed, so
+    only ``(name, num_requests, seed)`` crosses the pipe; every variant
+    replays the identical trace, exactly as the old serial loop did.
+    """
+    name, num_requests, seed = args
     app = MASSTREE
     context = make_context(app, seed, num_requests)
-    trace = Trace.generate_at_load(app, LOAD, num_requests, seed)
-    base_power = replay(trace, NOMINAL_FREQUENCY_HZ).mean_core_power_w
     bound = context.latency_bound_s
+    trace = Trace.generate_at_load(app, LOAD, num_requests, seed)
+    if name == _BASELINE:
+        power = replay(trace, NOMINAL_FREQUENCY_HZ).mean_core_power_w
+        return (power, 0.0, 0.0)
+    if name == _STATIC_REF:
+        result = StaticOracle().evaluate(trace, context)
+    else:
+        result = run_trace(trace, VARIANTS[name](), context)
+    return (result.mean_core_power_w, result.tail_latency() / bound,
+            result.violation_rate(bound))
 
-    variants = {
-        "Rubik (paper config)": Rubik(),
-        "no feedback": Rubik(feedback=False),
-        "quartile rows": Rubik(num_rows=4),
-        "single row (no conditioning)": Rubik(num_rows=1),
-        "CLT after 4 columns": Rubik(max_explicit=4),
-        "1 s table refresh": Rubik(update_period_s=1.0),
-        "Pegasus (feedback only)": Pegasus(),
-    }
-    static = StaticOracle()
-    static_rep = static.evaluate(trace, context)
 
+def run_ablations(num_requests: Optional[int] = None,
+                  seed: int = 21,
+                  processes: Optional[int] = None) -> AblationResult:
+    """Run every ablation variant on the same trace.
+
+    Variants are independent runs over the identical trace, so they
+    flatten into one parallel sweep (the fixed-frequency baseline is one
+    more point); savings are computed from the returned mean powers with
+    the same float arithmetic as the old serial loop.
+    """
+    names = [_BASELINE] + list(VARIANTS) + [_STATIC_REF]
+    results = parallel_map(
+        _ablation_point,
+        [(name, num_requests, seed) for name in names],
+        processes=processes,
+    )
+    base_power = results[0][0]
     rows: Dict[str, Dict[str, float]] = {}
-    for name, scheme in variants.items():
-        run = run_trace(trace, scheme, context)
+    for name, (power, tail_ratio, violations) in zip(names[1:], results[1:]):
         rows[name] = {
-            "savings": 1.0 - run.mean_core_power_w / base_power,
-            "tail_ratio": run.tail_latency() / bound,
-            "violations": run.violation_rate(bound),
+            "savings": 1.0 - power / base_power,
+            "tail_ratio": tail_ratio,
+            "violations": violations,
         }
-    rows["StaticOracle (reference)"] = {
-        "savings": 1.0 - static_rep.mean_core_power_w / base_power,
-        "tail_ratio": static_rep.tail_latency() / bound,
-        "violations": static_rep.violation_rate(bound),
-    }
+    bound = latency_bound(MASSTREE, seed, num_requests)
     return AblationResult(rows, bound * 1e3)
 
 

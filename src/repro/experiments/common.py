@@ -20,6 +20,7 @@ Conventions used by every experiment module:
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -45,9 +46,18 @@ DEFAULT_EVAL_SEEDS: Tuple[int, ...] = (21, 22, 23)
 TRAINING_SEED_OFFSET = 1000
 
 
+@functools.lru_cache(maxsize=None)
 def latency_bound(app: AppProfile, seed: int,
                   num_requests: Optional[int] = None) -> float:
-    """Tail-latency target: fixed-frequency tail at 50% load, same seed."""
+    """Tail-latency target: fixed-frequency tail at 50% load, same seed.
+
+    Memoized process-wide on ``(app, seed, num_requests)``: the bound is
+    defined at ``BOUND_LOAD`` regardless of the evaluation load, so every
+    driver that sweeps loads (or ablation variants) used to replay the
+    identical bound trace once per point. The replay is deterministic, so
+    caching is bitwise-invisible; pool workers each hold their own cache,
+    which the persistent :class:`repro.perf.WorkerPool` keeps warm across
+    drivers. ``latency_bound.cache_clear()`` resets (tests)."""
     trace = Trace.generate_at_load(app, BOUND_LOAD, num_requests, seed)
     return replay(trace, NOMINAL_FREQUENCY_HZ).tail_latency()
 
@@ -125,6 +135,34 @@ def _compare_seed(args) -> Dict[str, Tuple[float, float, float, float]]:
     return rows
 
 
+def aggregate_seed_rows(
+    include: Sequence[str],
+    per_seed: Sequence[Dict[str, Tuple[float, float, float, float]]],
+) -> Dict[str, SchemePoint]:
+    """Average :func:`_compare_seed` rows (in seed order) per scheme.
+
+    Shared by :func:`compare_schemes` and the flattened Fig. 6 driver so
+    both aggregate with the exact same float operations.
+    """
+    acc: Dict[str, List[Tuple[float, float, float, float]]] = {
+        name: [] for name in include}
+    for rows in per_seed:
+        for name, row in rows.items():
+            acc[name].append(row)
+
+    points: Dict[str, SchemePoint] = {}
+    for name, rows in acc.items():
+        arr = np.asarray(rows)
+        points[name] = SchemePoint(
+            scheme=name,
+            power_savings=float(arr[:, 0].mean()),
+            energy_per_request_mj=float(arr[:, 1].mean() * 1e3),
+            tail_latency_ms=float(arr[:, 2].mean() * 1e3),
+            violation_rate=float(arr[:, 3].mean()),
+        )
+    return points
+
+
 def compare_schemes(
     app: AppProfile,
     load: float,
@@ -147,20 +185,4 @@ def compare_schemes(
         [(app, load, seed, num_requests, tuple(include)) for seed in seeds],
         processes=processes,
     )
-    acc: Dict[str, List[Tuple[float, float, float, float]]] = {
-        name: [] for name in include}
-    for rows in per_seed:
-        for name, row in rows.items():
-            acc[name].append(row)
-
-    points: Dict[str, SchemePoint] = {}
-    for name, rows in acc.items():
-        arr = np.asarray(rows)
-        points[name] = SchemePoint(
-            scheme=name,
-            power_savings=float(arr[:, 0].mean()),
-            energy_per_request_mj=float(arr[:, 1].mean() * 1e3),
-            tail_latency_ms=float(arr[:, 2].mean() * 1e3),
-            violation_rate=float(arr[:, 3].mean()),
-        )
-    return points
+    return aggregate_seed_rows(tuple(include), per_seed)

@@ -15,7 +15,12 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.analysis.tables import render_table
-from repro.experiments.common import DEFAULT_EVAL_SEEDS, compare_schemes
+from repro.experiments.common import (
+    DEFAULT_EVAL_SEEDS,
+    _compare_seed,
+    aggregate_seed_rows,
+)
+from repro.perf import parallel_map
 from repro.workloads.apps import APPS, app_names
 
 LOADS = (0.3, 0.4, 0.5)
@@ -24,26 +29,32 @@ SCHEMES = ("StaticOracle", "AdrenalineOracle", "Rubik")
 
 @dataclasses.dataclass
 class Fig6Result:
-    """savings[app][load][scheme] plus cross-app means."""
+    """savings[app][load][scheme] plus cross-app means.
+
+    ``loads`` and ``schemes`` record what :func:`run_fig6` actually ran
+    (subset runs used to KeyError against the module-level defaults).
+    """
 
     savings: Dict[str, Dict[float, Dict[str, float]]]
     loads: Tuple[float, ...] = LOADS
+    schemes: Tuple[str, ...] = SCHEMES
 
     def mean_savings(self, load: float, scheme: str) -> float:
         return float(np.mean(
             [self.savings[a][load][scheme] for a in self.savings]))
 
     def table(self) -> str:
-        headers = ["App", "Load"] + [s for s in SCHEMES]
+        headers = ["App", "Load"] + [s for s in self.schemes]
         rows = []
         for app in self.savings:
             for load in self.loads:
                 cell = self.savings[app][load]
                 rows.append([app, f"{load:.0%}"]
-                            + [cell[s] * 100 for s in SCHEMES])
+                            + [cell[s] * 100 for s in self.schemes])
         for load in self.loads:
             rows.append(["mean", f"{load:.0%}"]
-                        + [self.mean_savings(load, s) * 100 for s in SCHEMES])
+                        + [self.mean_savings(load, s) * 100
+                           for s in self.schemes])
         return render_table(
             headers, rows, float_fmt=".1f",
             title="Fig. 6: core power savings (%) vs fixed-frequency")
@@ -54,18 +65,33 @@ def run_fig6(
     seeds: Sequence[int] = DEFAULT_EVAL_SEEDS,
     loads: Tuple[float, ...] = LOADS,
     apps: Optional[Sequence[str]] = None,
+    include: Sequence[str] = SCHEMES,
+    processes: Optional[int] = None,
 ) -> Fig6Result:
-    """Compute the full savings matrix."""
+    """Compute the full savings matrix.
+
+    The app x load x seed cube is flattened into one list of independent
+    points and fanned out over the parallel sweep executor (reusing the
+    shared :class:`repro.perf.WorkerPool` when one is active), then
+    regrouped per (app, load) in seed order — the aggregation arithmetic
+    is shared with :func:`~repro.experiments.common.compare_schemes`, so
+    results are identical to the old serial per-point loop.
+    """
+    names = tuple(apps or app_names())
+    schemes = tuple(include)
+    points = [(APPS[name], load, seed, num_requests, schemes)
+              for name in names for load in loads for seed in seeds]
+    per_point = iter(parallel_map(_compare_seed, points,
+                                  processes=processes))
     savings: Dict[str, Dict[float, Dict[str, float]]] = {}
-    for name in (apps or app_names()):
-        app = APPS[name]
+    for name in names:
         savings[name] = {}
         for load in loads:
-            points = compare_schemes(app, load, seeds, num_requests,
-                                     include=SCHEMES)
+            per_seed = [next(per_point) for _ in seeds]
+            pts = aggregate_seed_rows(schemes, per_seed)
             savings[name][load] = {
-                s: points[s].power_savings for s in SCHEMES}
-    return Fig6Result(savings, loads)
+                s: pts[s].power_savings for s in schemes}
+    return Fig6Result(savings, tuple(loads), schemes)
 
 
 def main(num_requests: Optional[int] = None) -> str:

@@ -17,7 +17,7 @@ import numpy as np
 from repro.analysis.tables import render_series, render_table
 from repro.core.controller import Rubik
 from repro.experiments.common import make_context, training_traces
-from repro.perf import parallel_map
+from repro.perf import parallel_map, shared_pool
 from repro.schemes.adrenaline import AdrenalineOracle
 from repro.schemes.static_oracle import StaticOracle
 from repro.sim.server import run_trace
@@ -103,12 +103,15 @@ def _cdf_point(args) -> CdfAndHistResult:
 
 def main(num_requests: Optional[int] = None, seed: int = 21,
          processes: Optional[int] = None) -> str:
-    """Figs. 7 and 8, the two apps fanned out over the sweep executor."""
-    fig7, fig8 = parallel_map(
-        _cdf_point,
-        [("masstree", num_requests, seed), ("xapian", num_requests, seed)],
-        processes=processes,
-    )
+    """Figs. 7 and 8, the two apps fanned out over the sweep executor
+    (reusing the shared pool when running under the regenerate CLI)."""
+    with shared_pool(processes):
+        fig7, fig8 = parallel_map(
+            _cdf_point,
+            [("masstree", num_requests, seed),
+             ("xapian", num_requests, seed)],
+            processes=processes,
+        )
     report = "\n\n".join([fig7.table(), fig8.table()])
     print(report)
     return report

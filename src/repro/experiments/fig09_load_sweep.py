@@ -23,7 +23,7 @@ from repro.analysis.tables import render_table
 from repro.config import NOMINAL_FREQUENCY_HZ
 from repro.core.controller import Rubik
 from repro.experiments.common import make_context
-from repro.perf import parallel_map
+from repro.perf import parallel_map, shared_pool
 from repro.schemes.base import SchemeContext
 from repro.schemes.dynamic_oracle import evaluate_dynamic_oracle
 from repro.schemes.replay import replay
@@ -127,11 +127,16 @@ def run_fig9(apps: Optional[Sequence[str]] = None,
              loads: Sequence[float] = DEFAULT_LOADS,
              num_requests: Optional[int] = None,
              seed: int = 21) -> Dict[str, LoadSweepResult]:
-    """Full Fig. 9 matrix (all apps)."""
-    return {
-        name: run_load_sweep(name, loads, num_requests, seed)
-        for name in (apps or app_names())
-    }
+    """Full Fig. 9 matrix (all apps).
+
+    The per-app sweeps share one worker pool (the regenerate-all CLI's
+    pool when running under it, a local one otherwise).
+    """
+    with shared_pool():
+        return {
+            name: run_load_sweep(name, loads, num_requests, seed)
+            for name in (apps or app_names())
+        }
 
 
 def main(num_requests: Optional[int] = None) -> str:

@@ -75,6 +75,8 @@ def run_fig15(
     values sub-sample for quick runs. ``requests_per_core`` defaults to
     the app's paper request count split across cores (Table 3) — tail
     estimates for heavy-tailed apps (specjbb) need those run lengths.
+    The (app, mix) pairs dispatch onto the shared worker pool when one
+    is active (regenerate-all CLI), a per-call pool otherwise.
     """
     mixes = generate_mixes(num_mixes=num_mixes, seed=0)
     pairs = []

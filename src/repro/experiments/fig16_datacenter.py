@@ -72,7 +72,8 @@ def run_fig16(
     """Sweep LC load and compare datacenters at each point.
 
     Load points fan out over the parallel sweep executor (serial
-    fallback on one CPU; identical results either way).
+    fallback on one CPU; identical results either way), reusing the
+    shared worker pool when one is active (regenerate-all CLI).
     """
     comparisons = parallel_map(
         _fig16_point,

@@ -1,0 +1,198 @@
+"""Unified experiment runner: registry + regenerate-all flow.
+
+Every paper table/figure driver is registered here behind a common
+interface (:class:`ExperimentSpec`), so any subset of the evaluation
+matrix can be regenerated in one invocation:
+
+    PYTHONPATH=src python -m repro.experiments --list
+    PYTHONPATH=src python -m repro.experiments table1 fig06 -n 2000
+    PYTHONPATH=src python -m repro.experiments all
+
+The drivers themselves flatten their nested loops (app x load x seed,
+ablation variants, (app, mix) pairs ...) into independent picklable
+points dispatched through :func:`repro.perf.parallel_map`; the runner
+wraps the whole regeneration in one persistent
+:class:`repro.perf.WorkerPool`, so *all* registered drivers share a
+single pool (created lazily, at most once per invocation) and its
+workers keep their per-process memo caches — notably
+:func:`repro.experiments.common.latency_bound` — warm across figures.
+Results are bitwise-identical to running each driver serially.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments import (
+    ablations,
+    fig01_intro,
+    fig02_variability,
+    fig06_power_savings,
+    fig07_fig08_cdfs,
+    fig09_load_sweep,
+    fig10_load_steps,
+    fig11_real_system,
+    fig12_system_power,
+    fig15_coloc_tails,
+    fig16_datacenter,
+    table1_correlations,
+)
+from repro.perf import WorkerPool
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment driver.
+
+    ``run(num_requests)`` regenerates the table/figure (printing its
+    report, as the module ``main()``s do) and returns the report string.
+    ``num_requests=None`` means the driver's full paper-scale default;
+    drivers whose natural size knob is named differently (Fig. 15/16's
+    ``requests_per_core``) adapt it in their wrapper.
+    """
+
+    name: str
+    title: str
+    run: Callable[[Optional[int]], str]
+    aliases: Tuple[str, ...] = ()
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    for key in (spec.name,) + spec.aliases:
+        if key in EXPERIMENTS or key == "all":
+            raise ValueError(f"duplicate experiment name {key!r}")
+        EXPERIMENTS[key] = spec
+    return spec
+
+
+register(ExperimentSpec(
+    "fig01", "Fig. 1: intro energy comparison + load-step response",
+    fig01_intro.main))
+register(ExperimentSpec(
+    "fig02", "Fig. 2: service-time variability panels",
+    fig02_variability.main))
+register(ExperimentSpec(
+    "fig06", "Fig. 6: core power savings matrix",
+    fig06_power_savings.main))
+register(ExperimentSpec(
+    "fig07_08", "Figs. 7/8: latency CDFs + frequency histograms",
+    fig07_fig08_cdfs.main, aliases=("fig07", "fig08")))
+register(ExperimentSpec(
+    "fig09", "Fig. 9: trace-driven load sweeps",
+    fig09_load_sweep.main))
+register(ExperimentSpec(
+    "fig10", "Fig. 10: load-step responses",
+    fig10_load_steps.main))
+register(ExperimentSpec(
+    "fig11", "Fig. 11: real-system comparison (130us DVFS lag)",
+    fig11_real_system.main))
+register(ExperimentSpec(
+    "fig12", "Fig. 12: full-system power savings",
+    fig12_system_power.main))
+register(ExperimentSpec(
+    "fig15", "Fig. 15: colocation tail latencies",
+    lambda n: fig15_coloc_tails.main(requests_per_core=n)))
+register(ExperimentSpec(
+    "fig16", "Fig. 16: datacenter power & server count",
+    lambda n: (fig16_datacenter.main(requests_per_core=n)
+               if n is not None else fig16_datacenter.main())))
+register(ExperimentSpec(
+    "table1", "Table 1: latency-predictor correlations",
+    table1_correlations.main))
+register(ExperimentSpec(
+    "ablations", "Rubik design-choice ablations",
+    ablations.main))
+
+
+def experiment_names() -> List[str]:
+    """Primary (alias-free) registered names, in registration order."""
+    seen: List[str] = []
+    for spec in EXPERIMENTS.values():
+        if spec.name not in seen:
+            seen.append(spec.name)
+    return seen
+
+
+def resolve(names: Optional[Sequence[str]] = None) -> List[ExperimentSpec]:
+    """Specs for ``names`` (aliases ok, ``None``/``"all"`` = everything),
+    deduplicated, in registration order."""
+    if not names or "all" in names:
+        keys = experiment_names()
+    else:
+        unknown = [n for n in names if n not in EXPERIMENTS]
+        if unknown:
+            raise KeyError(
+                f"unknown experiment(s) {unknown!r}; "
+                f"known: {', '.join(experiment_names())}")
+        keys = [EXPERIMENTS[n].name for n in names]
+    specs: List[ExperimentSpec] = []
+    for name in experiment_names():
+        if name in keys and EXPERIMENTS[name] not in specs:
+            specs.append(EXPERIMENTS[name])
+    return specs
+
+
+def regenerate(names: Optional[Sequence[str]] = None,
+               num_requests: Optional[int] = None,
+               processes: Optional[int] = None) -> Dict[str, str]:
+    """Regenerate the selected figures/tables through one shared pool.
+
+    Returns ``{name: report}`` in registration order. The
+    :class:`~repro.perf.WorkerPool` context makes every
+    ``parallel_map`` inside the selected drivers reuse a single
+    persistent pool (lazily created, at most once) instead of spawning
+    per call; on one CPU everything stays on the exact serial path.
+    """
+    specs = resolve(names)
+    reports: Dict[str, str] = {}
+    with WorkerPool(processes):
+        for spec in specs:
+            reports[spec.name] = spec.run(num_requests)
+    return reports
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (``python -m repro.experiments``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate paper figures/tables through one shared "
+                    "worker pool.")
+    parser.add_argument(
+        "experiments", nargs="*", metavar="EXPERIMENT",
+        help="experiment names (see --list); omit or pass 'all' for "
+             "the full matrix")
+    parser.add_argument(
+        "-n", "--num-requests", type=int, default=None,
+        help="requests per run (default: each driver's paper-scale "
+             "default; use a small value for smoke runs)")
+    parser.add_argument(
+        "--processes", type=int, default=None,
+        help="shared-pool worker count (default: auto-size to the "
+             "machine, capped by REPRO_MAX_WORKERS)")
+    parser.add_argument(
+        "--list", action="store_true", dest="list_experiments",
+        help="list registered experiments and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_experiments:
+        for name in experiment_names():
+            spec = EXPERIMENTS[name]
+            alias = f" (aliases: {', '.join(spec.aliases)})" \
+                if spec.aliases else ""
+            print(f"{name:<10} {spec.title}{alias}")
+        return 0
+
+    try:
+        specs = resolve(args.experiments)
+    except KeyError as exc:
+        parser.error(str(exc.args[0]))
+    print(f"Regenerating: {', '.join(s.name for s in specs)}")
+    regenerate([s.name for s in specs],
+               num_requests=args.num_requests,
+               processes=args.processes)
+    return 0

@@ -18,6 +18,7 @@ from repro.analysis.tables import render_table
 from repro.analysis.windows import instantaneous_qps
 from repro.config import NOMINAL_FREQUENCY_HZ
 from repro.experiments.fig02_variability import queue_length_at_arrivals
+from repro.perf import parallel_map
 from repro.schemes.replay import replay
 from repro.sim.trace import Trace
 from repro.workloads.apps import APPS, app_names
@@ -50,23 +51,39 @@ class Table1Result:
             title="Table 1: Pearson correlation of response latency")
 
 
+def _table1_point(args: Tuple[str, float, Optional[int], int]
+                  ) -> Tuple[float, float, float]:
+    """One app's correlation triple (module-level for the parallel
+    sweep executor; the trace is re-derived in-process from the seed)."""
+    name, load, num_requests, seed = args
+    app = APPS[name]
+    trace = Trace.generate_at_load(app, load, num_requests, seed)
+    rep = replay(trace, NOMINAL_FREQUENCY_HZ)
+    qps = instantaneous_qps(trace.arrivals, window_s=5e-3,
+                            anchor="arrivals")
+    queue = queue_length_at_arrivals(trace.arrivals, rep.response_times)
+    return (
+        pearson(rep.service_times, rep.response_times),
+        pearson(qps, rep.response_times),
+        pearson(queue.astype(float), rep.response_times),
+    )
+
+
 def run_table1(num_requests: Optional[int] = None, seed: int = 21,
-               load: float = 0.5) -> Table1Result:
-    """Compute the correlation table at the paper's operating point."""
-    per_app: Dict[str, Tuple[float, float, float]] = {}
-    for name in app_names():
-        app = APPS[name]
-        trace = Trace.generate_at_load(app, load, num_requests, seed)
-        rep = replay(trace, NOMINAL_FREQUENCY_HZ)
-        qps = instantaneous_qps(trace.arrivals, window_s=5e-3,
-                                anchor="arrivals")
-        queue = queue_length_at_arrivals(trace.arrivals, rep.response_times)
-        per_app[name] = (
-            pearson(rep.service_times, rep.response_times),
-            pearson(qps, rep.response_times),
-            pearson(queue.astype(float), rep.response_times),
-        )
-    return Table1Result(per_app)
+               load: float = 0.5,
+               processes: Optional[int] = None) -> Table1Result:
+    """Compute the correlation table at the paper's operating point.
+
+    Apps are independent points and fan out over the parallel sweep
+    executor (serial fallback on one CPU; identical results either way).
+    """
+    names = app_names()
+    rows = parallel_map(
+        _table1_point,
+        [(name, load, num_requests, seed) for name in names],
+        processes=processes,
+    )
+    return Table1Result(dict(zip(names, rows)))
 
 
 def main(num_requests: Optional[int] = None) -> str:

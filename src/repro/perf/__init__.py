@@ -4,8 +4,9 @@ This package hosts the infrastructure that keeps the repo's experiment
 matrix (load sweeps, datacenter comparisons, CDF studies) fast:
 
 * :mod:`repro.perf.parallel` — a ``multiprocessing``-based sweep executor
-  with a deterministic serial fallback, used by the Fig. 9/15/16 and
-  Fig. 7/8 experiment drivers.
+  with a deterministic serial fallback plus a persistent shared
+  :class:`~repro.perf.parallel.WorkerPool`, used by every experiment
+  driver and by the ``python -m repro.experiments`` regenerate-all CLI.
 
 The hot-path *algorithmic* fast paths (cached histogram CDFs/FFTs,
 shared-convolution tail-table builds, the vectorized Rubik controller)
@@ -14,6 +15,13 @@ run_bench.py`` times both layers and records the tracked perf trajectory
 (``BENCH_*.json``).
 """
 
-from repro.perf.parallel import effective_workers, parallel_map
+from repro.perf.parallel import (
+    WorkerPool,
+    effective_workers,
+    parallel_map,
+    pools_created,
+    shared_pool,
+)
 
-__all__ = ["effective_workers", "parallel_map"]
+__all__ = ["WorkerPool", "effective_workers", "parallel_map",
+           "pools_created", "shared_pool"]

@@ -10,6 +10,10 @@ Usage:
 
     results = parallel_map(_point_worker, args_list, processes=None)
 
+    with WorkerPool() as pool:          # regenerate-all flow
+        run_fig6(...)                   # every parallel_map inside the
+        run_table1(...)                 # block reuses ONE pool
+
 * ``processes=None`` auto-sizes to ``min(cpu_count, len(items))``.
 * One CPU (or one item, or ``processes=1``) short-circuits to an in-
   process list comprehension: no pool, no pickling, no nondeterminism in
@@ -17,7 +21,12 @@ Usage:
   exact serial path.
 * The ``REPRO_MAX_WORKERS`` environment variable caps the pool globally
   (``0`` or ``1`` forces serial), so shared machines can be throttled
-  without touching call sites.
+  without touching call sites. Invalid values (non-integer or negative)
+  warn once and are treated as unset.
+* Inside a :class:`WorkerPool` context, ``parallel_map`` dispatches onto
+  the shared persistent pool instead of spawning a fresh one per call;
+  the pool itself is created lazily on the first dispatch that actually
+  needs workers, so serial flows never pay for one.
 
 Workers must be module-level functions (picklable); keep per-point
 argument tuples small — traces are regenerated inside the worker from
@@ -26,15 +35,72 @@ argument tuples small — traces are regenerated inside the worker from
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
-from typing import Callable, List, Optional, Sequence, TypeVar
+import warnings
+from typing import Callable, Iterator, List, Optional, Sequence, Set, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 #: Environment variable capping worker processes (0/1 = force serial).
 MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
+
+#: Innermost active shared pool (set by ``WorkerPool.__enter__``).
+_active_pool: Optional["WorkerPool"] = None
+
+#: True inside pool worker processes: nested ``parallel_map`` calls in a
+#: worker must run serially (daemonic processes cannot fork children).
+_in_worker = False
+
+#: Process-lifetime count of pools actually spawned (fresh + shared);
+#: the ``perf_smoke`` guard asserts the regenerate-all flow creates at
+#: most one.
+_pools_created = 0
+
+#: Env values already warned about (warn once per distinct value).
+_warned_env_values: Set[str] = set()
+
+
+def pools_created() -> int:
+    """How many worker pools this process has spawned so far."""
+    return _pools_created
+
+
+def _env_workers() -> Optional[int]:
+    """Validated ``REPRO_MAX_WORKERS`` cap, or ``None`` if unset/invalid.
+
+    ``0`` and ``1`` are legitimate force-serial settings. Anything that
+    is not a non-negative integer (``""``, ``"-3"``, ``"abc"``) used to
+    be silently swallowed — or worse, a negative value flowed through
+    ``min()`` and forced serial with no diagnostic. Now it warns once
+    per distinct value and is treated as unset.
+    """
+    raw = os.environ.get(MAX_WORKERS_ENV)
+    if raw is None:
+        return None
+    try:
+        value: Optional[int] = int(raw)
+    except ValueError:
+        value = None
+    if value is None or value < 0:
+        if raw not in _warned_env_values:
+            _warned_env_values.add(raw)
+            warnings.warn(
+                f"ignoring invalid {MAX_WORKERS_ENV}={raw!r} "
+                "(expected a non-negative integer)",
+                RuntimeWarning, stacklevel=3)
+        return None
+    return value
+
+
+def _machine_workers() -> int:
+    """CPUs available to this process."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def effective_workers(num_tasks: int,
@@ -49,22 +115,156 @@ def effective_workers(num_tasks: int,
     Returns:
         at least 1; a return of 1 means "run serially, no pool".
     """
+    if _in_worker:
+        # Already inside a pool worker: never try to nest pools.
+        return 1
     if num_tasks <= 1:
         return 1
     if processes is None:
-        try:
-            processes = len(os.sched_getaffinity(0))
-        except AttributeError:  # pragma: no cover - non-Linux
-            processes = os.cpu_count() or 1
-    env_cap = os.environ.get(MAX_WORKERS_ENV)
+        processes = _machine_workers()
+    env_cap = _env_workers()
     if env_cap is not None:
         # Global throttle: applies even over explicit per-call counts, so
         # a shared machine can be capped without touching call sites.
-        try:
-            processes = min(processes, int(env_cap))
-        except ValueError:
-            pass
+        processes = min(processes, env_cap)
     return max(1, min(processes, num_tasks))
+
+
+def _init_worker() -> None:
+    """Pool-worker initializer: mark the child so nested ``parallel_map``
+    calls fall back to serial instead of forking grandchildren, and drop
+    any shared-pool handle inherited from the parent (it is unusable
+    across the fork)."""
+    global _in_worker, _active_pool
+    _in_worker = True
+    _active_pool = None
+
+
+def _map_guarded(pool: multiprocessing.pool.Pool, fn: Callable[[T], R],
+                 items: Sequence[T], chunksize: int) -> List[R]:
+    """``pool.map`` with deterministic teardown.
+
+    The load-bearing part is the ``except``: on *any* failure — a worker
+    exception or a ``KeyboardInterrupt``/``SystemExit`` in the parent —
+    the pool is ``terminate()``d, never ``close()``+``join()``ed on
+    still-live workers (which is what a bare ``with Pool(...)`` body
+    falling out through an interrupt can end up waiting on). The first
+    worker exception propagates as the original exception object with
+    the remote traceback attached (``__cause__``) by ``multiprocessing``.
+    """
+    try:
+        return pool.map_async(fn, items, chunksize=chunksize).get()
+    except BaseException:
+        pool.terminate()
+        raise
+
+
+class WorkerPool:
+    """Persistent worker pool shared across ``parallel_map`` calls.
+
+    Entering the context registers the pool process-wide; every
+    ``parallel_map`` call inside the block that needs workers dispatches
+    onto it instead of spawning (and tearing down) its own pool. The OS
+    pool is created *lazily* on first dispatch — a regeneration flow
+    that ends up fully serial (one CPU, ``REPRO_MAX_WORKERS=1``) never
+    forks at all. Worker processes persist across dispatches, so
+    per-process memo caches (:func:`repro.experiments.common.
+    latency_bound`) stay warm across drivers.
+
+    Sizing follows :func:`effective_workers`: ``processes=None``
+    auto-sizes to the machine, and ``REPRO_MAX_WORKERS`` caps either
+    way. Exceptions and ``KeyboardInterrupt`` terminate the pool
+    immediately (a later dispatch lazily recreates it).
+    """
+
+    def __init__(self, processes: Optional[int] = None):
+        self._requested = processes
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._outer: Optional["WorkerPool"] = None
+
+    @property
+    def size(self) -> int:
+        """Worker count this pool runs (or would run) with."""
+        procs = self._requested
+        if procs is None:
+            procs = _machine_workers()
+        env_cap = _env_workers()
+        if env_cap is not None:
+            procs = min(procs, env_cap)
+        return max(1, procs)
+
+    @property
+    def spawned(self) -> bool:
+        """Whether the OS pool has actually been created."""
+        return self._pool is not None
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T],
+            chunksize: int = 1) -> List[R]:
+        """``[fn(x) for x in items]`` on the shared pool (input order)."""
+        global _pools_created
+        if _in_worker or self.size <= 1 or len(items) <= 1:
+            # _in_worker: a driver wrapped in shared_pool()/WorkerPool
+            # running *inside* a pool worker must stay serial — daemonic
+            # processes cannot fork children.
+            return [fn(item) for item in items]
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(
+                self.size, initializer=_init_worker)
+            _pools_created += 1
+        try:
+            return _map_guarded(self._pool, fn, items, chunksize)
+        except BaseException:
+            # _map_guarded already terminated it; reap and drop the
+            # handle so a later dispatch starts from a clean pool.
+            self._pool.join()
+            self._pool = None
+            raise
+
+    def close(self) -> None:
+        """Graceful shutdown: finish outstanding work, reap workers."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def terminate(self) -> None:
+        """Hard shutdown: kill workers without waiting."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        global _active_pool
+        self._outer = _active_pool
+        _active_pool = self
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _active_pool
+        _active_pool = self._outer
+        self._outer = None
+        if exc_type is None:
+            self.close()
+        else:
+            self.terminate()
+
+
+@contextlib.contextmanager
+def shared_pool(processes: Optional[int] = None) -> Iterator[WorkerPool]:
+    """The active :class:`WorkerPool`, creating one only if none exists.
+
+    Drivers that issue several ``parallel_map`` calls (``run_fig9``'s
+    per-app sweeps, the figure ``main()``s) wrap themselves in this so
+    a standalone run shares one pool internally, while a run under the
+    regenerate-all CLI reuses the CLI's pool instead of nesting a
+    second one.
+    """
+    if _active_pool is not None:
+        yield _active_pool
+    else:
+        with WorkerPool(processes) as pool:
+            yield pool
 
 
 def parallel_map(fn: Callable[[T], R], items: Sequence[T],
@@ -75,7 +275,11 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
     Results come back in input order regardless of completion order.
     Falls back to an in-process loop when only one worker is effective
     (single CPU, single item, or an explicit/env override), so callers
-    need no serial/parallel branching of their own.
+    need no serial/parallel branching of their own. Inside a
+    :class:`WorkerPool` context the shared pool is reused; otherwise a
+    fresh pool is spawned for the call and torn down afterwards —
+    terminated, not joined, if a worker raises or the parent is
+    interrupted.
 
     Args:
         fn: module-level (picklable) worker.
@@ -83,8 +287,28 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
         processes: explicit worker count; ``None`` auto-sizes.
         chunksize: items per pool dispatch (raise for many tiny points).
     """
+    global _pools_created
+    if _active_pool is not None:
+        # Shared-pool dispatch: the pool's size (explicit or env-capped)
+        # governs parallelism, so an explicitly-sized WorkerPool is used
+        # even on machines where auto-sizing would pick serial. A
+        # per-call ``processes`` that forces serial is still honoured;
+        # ``WorkerPool.map`` itself falls back to an in-process loop for
+        # single items or a size-1 pool.
+        if processes is not None and \
+                effective_workers(len(items), processes) <= 1:
+            return [fn(item) for item in items]
+        return _active_pool.map(fn, items, chunksize=chunksize)
     workers = effective_workers(len(items), processes)
     if workers <= 1:
         return [fn(item) for item in items]
-    with multiprocessing.Pool(workers) as pool:
-        return pool.map(fn, items, chunksize=chunksize)
+    pool = multiprocessing.Pool(workers, initializer=_init_worker)
+    _pools_created += 1
+    try:
+        results = _map_guarded(pool, fn, items, chunksize)
+    except BaseException:
+        pool.join()
+        raise
+    pool.close()
+    pool.join()
+    return results
