@@ -76,6 +76,39 @@ def test_quick_bench_emits_trajectory_point(tmp_path):
         assert regen["latency_bound_computed"] is None
         assert regen["latency_bound_requested"] is None
 
+    # Refresh-subsystem guards (PR 4). A warm rerun of the identical
+    # trace must reuse every refresh from the table cache, and a
+    # steady-state (constant-demand) run must rebuild tables at most
+    # once after warm-up — its demand window normalizes to the same
+    # fingerprint at every refresh, so repeated rebuilds mean the
+    # incremental profiler or the fingerprint sprung a leak.
+    churn = results["refresh_churn"]
+    assert churn["refreshes"] >= 2
+    cold, warm = churn["cold"], churn["warm"]
+    assert cold["cache_misses"] >= 1
+    assert cold["snapshots"] == cold["cache_hits"] + cold["cache_misses"]
+    assert warm["cache_misses"] == 0, (
+        f"warm rerun rebuilt {warm['cache_misses']} tables; identical "
+        "demand windows must reuse the cached pairs")
+    assert warm["cache_hits"] == warm["snapshots"] == cold["snapshots"]
+    steady = churn["steady_state"]
+    assert steady["snapshots"] >= 2
+    assert steady["cache_misses"] <= 1, (
+        f"steady-state run rebuilt tables {steady['cache_misses']} "
+        "times; a stable demand window must rebuild at most once")
+    assert steady["cache_hits"] == \
+        steady["snapshots"] - steady["cache_misses"]
+    assert churn["snapshot_incremental_us"] > 0
+    assert churn["snapshot_rebuild_us"] > 0
+    # Capacity cliff guard: one run's distinct fingerprints must fit the
+    # cache, or the cold run evicts its own entries and the warm-rerun
+    # guarantee above degrades for reasons invisible in the miss counts.
+    assert churn["table_cache"]["evictions"] == 0, (
+        f"refresh cache evicted {churn['table_cache']['evictions']} "
+        "entries within one cold+warm pair; raise TailTableCache "
+        "maxsize above the per-run refresh count "
+        f"({churn['refreshes']} refreshes here)")
+
     # The seed reference the trajectory is measured against is recorded
     # alongside every point.
     assert results["seed_baseline"] == run_bench.SEED_BASELINE

@@ -1,8 +1,23 @@
 """Rubik's analytical core: distributions, target tail tables, profiler,
-PI feedback, and the controller itself (paper Sec. 4)."""
+refresh cache, PI feedback, and the controller itself (paper Sec. 4)."""
 
 from repro.core.controller import Rubik
 from repro.core.histogram import Histogram
+from repro.core.table_cache import (
+    TABLE_CACHE,
+    RefreshStats,
+    TailTableCache,
+    snapshot_fingerprint,
+)
 from repro.core.tail_tables import TailTable, TargetTailTables
 
-__all__ = ["Histogram", "Rubik", "TailTable", "TargetTailTables"]
+__all__ = [
+    "Histogram",
+    "RefreshStats",
+    "Rubik",
+    "TABLE_CACHE",
+    "TailTable",
+    "TailTableCache",
+    "TargetTailTables",
+    "snapshot_fingerprint",
+]

@@ -29,6 +29,11 @@ from typing import Optional
 
 from repro.core.feedback import LatencyTargetTrimmer
 from repro.core.profiler import DemandProfiler
+from repro.core.table_cache import (
+    TABLE_CACHE,
+    RefreshStats,
+    snapshot_fingerprint,
+)
 from repro.core.tail_tables import (
     DEFAULT_MAX_EXPLICIT,
     DEFAULT_NUM_ROWS,
@@ -84,6 +89,9 @@ class Rubik(Scheme):
         self._last_table_update = float("-inf")
         self._samples_at_last_update = 0
         self.table_updates = 0
+        #: Refresh-subsystem counters: snapshots taken, table-cache
+        #: hits/misses, lazy columns carried over by reuse.
+        self.refresh_stats = RefreshStats()
         # Pre-bound hot-path dispatch: the hooks run twice per simulated
         # event, and an if-dispatch per call is measurable there. The
         # `vectorized` property setter keeps this in sync.
@@ -154,13 +162,32 @@ class Rubik(Scheme):
         snapshot = self.profiler.snapshot()
         assert snapshot is not None
         cycles, memory = snapshot
-        self.tables = TargetTailTables(
-            cycles,
-            memory,
-            quantile=self.context.tail_quantile,
-            num_rows=self.num_rows,
-            max_explicit=self.max_explicit,
-        )
+        stats = self.refresh_stats
+        stats.snapshots += 1
+        # A table pair is a pure function of the snapshot + parameters,
+        # so an unchanged fingerprint reuses the previous build outright
+        # — including every lazy column / FFT power / row-list cache it
+        # has accumulated since (value-identical to rebuilding).
+        key = snapshot_fingerprint(
+            cycles, memory, self.context.tail_quantile,
+            self.num_rows, self.max_explicit)
+        tables = TABLE_CACHE.get(key)
+        if tables is None:
+            tables = TargetTailTables(
+                cycles,
+                memory,
+                quantile=self.context.tail_quantile,
+                num_rows=self.num_rows,
+                max_explicit=self.max_explicit,
+            )
+            TABLE_CACHE.put(key, tables)
+            stats.cache_misses += 1
+        else:
+            stats.cache_hits += 1
+            stats.columns_carried += (
+                (tables.cycles._built_cols - 1)
+                + (tables.memory._built_cols - 1))
+        self.tables = tables
         self._last_table_update = now
         self._samples_at_last_update = self.profiler.total_observed
         self.table_updates += 1

@@ -10,14 +10,152 @@ histograms on demand.
 A bounded window (rather than all history) is what lets Rubik track
 long-term drift in service demands — e.g. when colocation interference
 inflates compute cycles, the distributions follow within one window.
+
+Snapshots are **incremental**: each demand stream maintains its window
+maximum and per-bucket counts under ring-buffer append/evict, so
+:meth:`DemandProfiler.snapshot` costs O(new samples + buckets) instead of
+re-bucketing the full window twice per refresh. The maintained state is
+bitwise-equivalent to :meth:`Histogram.from_samples` on the window
+contents (pinned by a randomized add/evict oracle test): counts are exact
+integer arithmetic in float64, the bucket width is recomputed with the
+same expression, and the whole window is re-bucketed only when the width
+actually changes (a new maximum arrived, or the maximum left the window).
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.histogram import DEFAULT_NUM_BUCKETS, Histogram
+
+#: Bucket width of the degenerate all-zero memory-time distribution.
+ZERO_MEMORY_WIDTH = 1e-9
+
+
+class _SlidingHistogram:
+    """One demand stream's window, bucketed incrementally.
+
+    Ground truth is the sample ring buffer; ``_counts``/``_width`` mirror
+    ``Histogram.from_samples`` on it. Appends and evictions are queued in
+    pending lists and folded in vectorized at the next :meth:`sync` —
+    per-observation work is a couple of float compares (window-max
+    maintenance), and the only O(window) steps are the rare re-buckets
+    when the maximum (and therefore the bucket width) changes.
+    """
+
+    __slots__ = ("window", "num_buckets", "samples", "max_value",
+                 "_max_count", "_width", "_counts", "_added", "_evicted",
+                 "_rebin")
+
+    def __init__(self, window: int, num_buckets: int) -> None:
+        self.window = window
+        self.num_buckets = num_buckets
+        self.samples: Deque[float] = deque()
+        #: Window maximum (-inf while empty); drives the bucket width
+        #: exactly as ``float(arr.max())`` does in ``from_samples``.
+        self.max_value = -math.inf
+        self._max_count = 0
+        self._width = 0.0
+        self._counts: Optional[np.ndarray] = None
+        self._added: List[float] = []
+        self._evicted: List[float] = []
+        self._rebin = True
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def add(self, value: float) -> None:
+        samples = self.samples
+        if len(samples) == self.window:
+            evicted = samples.popleft()
+            self._evicted.append(evicted)
+            if evicted == self.max_value:
+                self._max_count -= 1
+        samples.append(value)
+        self._added.append(value)
+        if value > self.max_value:
+            self.max_value = value
+            self._max_count = 1
+            self._rebin = True  # width grows: incremental repair invalid
+        elif value == self.max_value:
+            self._max_count += 1
+        if self._max_count == 0:
+            # The last copy of the maximum left the window and the new
+            # sample is smaller: rescan (at most ~once per window period).
+            self._rescan_max()
+        if len(self._added) >= self.window:
+            # Everything currently in the window arrived since the last
+            # sync; a full re-bucket is cheaper than replaying the queues
+            # (and bounds their memory when syncs are rare).
+            self._added.clear()
+            self._evicted.clear()
+            self._rebin = True
+
+    def _rescan_max(self) -> None:
+        m = -math.inf
+        count = 0
+        for s in self.samples:
+            if s > m:
+                m = s
+                count = 1
+            elif s == m:
+                count += 1
+        self.max_value = m
+        self._max_count = count
+        self._rebin = True  # width shrank with the departed maximum
+
+    def sync(self) -> None:
+        """Fold pending appends/evictions into the bucket counts."""
+        added, evicted = self._added, self._evicted
+        if self.max_value <= 0.0:
+            # All-zero (or empty) window: no bucketed form exists; the
+            # snapshot degenerates to a point mass.
+            self._counts = None
+            self._width = 0.0
+        elif self._rebin or self._counts is None:
+            # Same expressions as Histogram.from_samples, so the counts
+            # and width stay bitwise-equal to a from-scratch build.
+            width = self.max_value / self.num_buckets * (1.0 + 1e-9)
+            arr = np.asarray(self.samples, dtype=float)
+            idx = np.minimum((arr / width).astype(int), self.num_buckets - 1)
+            self._counts = np.bincount(
+                idx, minlength=self.num_buckets).astype(float)
+            self._width = width
+        elif added or evicted:
+            # Width unchanged since the last sync: integer count updates
+            # (exact in float64) under the same binning arithmetic.
+            counts = self._counts
+            width = self._width
+            top = self.num_buckets - 1
+            if added:
+                arr = np.asarray(added, dtype=float)
+                idx = np.minimum((arr / width).astype(int), top)
+                counts += np.bincount(
+                    idx, minlength=self.num_buckets).astype(float)
+            if evicted:
+                arr = np.asarray(evicted, dtype=float)
+                idx = np.minimum((arr / width).astype(int), top)
+                counts -= np.bincount(
+                    idx, minlength=self.num_buckets).astype(float)
+        added.clear()
+        evicted.clear()
+        self._rebin = False
+
+    def histogram(self) -> Optional[Histogram]:
+        """Bitwise-equal to ``Histogram.from_samples(list(samples))``,
+        or None when the window maximum is non-positive (the degenerate
+        case both callers special-case)."""
+        self.sync()
+        if self._counts is None:
+            return None
+        # Histogram.__init__ performs the identical clip/sum/normalize
+        # from_samples applies to its freshly-bincounted array; the copy
+        # keeps the live counts independent of the returned object.
+        return Histogram(self._width, self._counts.copy())
 
 
 class DemandProfiler:
@@ -42,16 +180,16 @@ class DemandProfiler:
         self.window = window
         self.min_samples = min_samples
         self.num_buckets = num_buckets
-        self._cycles: Deque[float] = deque(maxlen=window)
-        self._memory: Deque[float] = deque(maxlen=window)
+        self._cycles = _SlidingHistogram(window, num_buckets)
+        self._memory = _SlidingHistogram(window, num_buckets)
         self.total_observed = 0
 
     def observe(self, compute_cycles: float, memory_time_s: float) -> None:
         """Record one completed request's measured demands."""
         if compute_cycles < 0 or memory_time_s < 0:
             raise ValueError("demands must be non-negative")
-        self._cycles.append(compute_cycles)
-        self._memory.append(memory_time_s)
+        self._cycles.add(compute_cycles)
+        self._memory.add(memory_time_s)
         self.total_observed += 1
 
     @property
@@ -71,10 +209,11 @@ class DemandProfiler:
         """
         if not self.ready:
             return None
-        cycles = Histogram.from_samples(list(self._cycles), self.num_buckets)
-        mem_samples = list(self._memory)
-        if max(mem_samples) <= 0:
-            memory = Histogram.point_mass(0.0, bucket_width=1e-9)
-        else:
-            memory = Histogram.from_samples(mem_samples, self.num_buckets)
+        cycles = self._cycles.histogram()
+        if cycles is None:
+            # from_samples' own top <= 0 path.
+            cycles = Histogram.point_mass(0.0, bucket_width=1.0)
+        memory = self._memory.histogram()
+        if memory is None:
+            memory = Histogram.point_mass(0.0, bucket_width=ZERO_MEMORY_WIDTH)
         return cycles, memory

@@ -32,6 +32,7 @@ approximation (Eq. 2).
 from __future__ import annotations
 
 import bisect
+import math
 
 import numpy as np
 
@@ -165,11 +166,17 @@ class TailTable:
         """
         if count > self._built_cols:
             self._ensure_columns(count)
-            self._row_lists.clear()
         cached = self._row_lists.get(row)
-        if cached is None or len(cached) < count:
+        if cached is None:
             cached = self.table[row, : self._built_cols].tolist()
             self._row_lists[row] = cached
+        elif len(cached) < count:
+            # Columns grew (here or via tail()/tails_for_queue) since
+            # this row was cached: extend the list in place — built
+            # columns are append-only, so the prefix stays valid and
+            # other rows' caches survive the growth untouched.
+            cached.extend(
+                self.table[row, len(cached): self._built_cols].tolist())
         return cached
 
     def tails_head_list(self, elapsed: float, count: int) -> list:
@@ -201,10 +208,13 @@ class TailTable:
             if position >= self._built_cols:
                 self._ensure_columns(position + 1)
             return float(self.table[row, position])
-        # CLT extension (paper: i >= 16): Gaussian with accumulated moments.
+        # CLT extension (paper: i >= 16): Gaussian with accumulated
+        # moments. math.sqrt, not np.sqrt: this runs per event past
+        # max_explicit and ndarray scalar boxing is measurable there
+        # (same bits — see Histogram.gaussian_tail).
         mean = self.row_means[row] + position * self.base_mean
         var = self.row_vars[row] + position * self.base_var
-        return max(0.0, float(mean + self._z * np.sqrt(max(var, 0.0))))
+        return max(0.0, float(mean + self._z * math.sqrt(max(var, 0.0))))
 
     def tails_for_queue(self, queue_len: int,
                         elapsed: float = 0.0) -> np.ndarray:

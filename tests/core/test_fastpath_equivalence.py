@@ -118,6 +118,39 @@ class TestSharedConvolutionTables:
         t = TailTable(lognormal_hist())
         assert isinstance(t.row_bounds, np.ndarray)
 
+    def test_clt_branch_math_sqrt_bitwise(self):
+        """Satellite fix: tail()'s CLT branch uses math.sqrt (no ndarray
+        boxing on the per-event path) — bit-for-bit what np.sqrt gave."""
+        h = lognormal_hist(9, 1e6, 0.6)
+        t = TailTable(h, max_explicit=4)
+        for position in (4, 7, 16, 40):
+            for elapsed in (0.0, h.quantile(0.3), h.quantile(0.9)):
+                row = t.row_for_elapsed(elapsed)
+                mean = t.row_means[row] + position * t.base_mean
+                var = t.row_vars[row] + position * t.base_var
+                expected = max(0.0, float(
+                    mean + t._z * np.sqrt(max(var, 0.0))))
+                got = t.tail(position, elapsed)
+                assert got == expected  # bitwise, not approx
+                assert isinstance(got, float)
+
+    def test_row_list_caches_survive_column_growth(self):
+        """Satellite fix: growing columns used to clear every row's
+        cached float list; now lists extend in place."""
+        t = TailTable(lognormal_hist(4))
+        row0 = t.row_tails_list(0, 3)
+        row5 = t.row_tails_list(5, 3)
+        grown = t.row_tails_list(0, 12)  # forces columns 3..11
+        assert grown is row0  # extended in place, not rebuilt
+        assert t._row_lists[5] is row5  # other row's cache survived
+        # Growth through a different accessor extends lazily on re-read.
+        t.tails_for_queue(16)
+        full5 = t.row_tails_list(5, 16)
+        assert full5 is row5
+        np.testing.assert_array_equal(full5, t.table[5, :16])
+        assert t.row_tails_list(0, 16) is row0
+        np.testing.assert_array_equal(row0, t.table[0, :16])
+
 
 class TestControllerEquivalence:
     @pytest.mark.parametrize("app,seed,n,load", [

@@ -10,6 +10,7 @@ not approximately.
 
 import pytest
 
+from repro.core.table_cache import TABLE_CACHE
 from repro.experiments import runner
 from repro.experiments.ablations import run_ablations
 from repro.experiments.common import latency_bound
@@ -63,6 +64,32 @@ class TestBitwiseEquivalence:
         assert pools_created() - before == 1
         assert t.per_app == serial[0]
         assert a.rows == serial[1]
+
+
+class TestSharedTableCache:
+    """The process-wide TailTableCache must be bitwise-invisible to the
+    runner: a serial flow shares one cache across every point, a pooled
+    flow gives each worker its own, and a fully warm cache replays the
+    exact same decisions a cold one made."""
+
+    def test_fig6_cold_warm_and_pool_all_equal(self):
+        kwargs = dict(num_requests=N, seeds=(3, 4), loads=(0.3,),
+                      apps=("masstree",))
+        TABLE_CACHE.clear()
+        cold = run_fig6(processes=1, **kwargs)
+        warm = run_fig6(processes=1, **kwargs)   # all-hit serial rerun
+        pooled = run_fig6(processes=2, **kwargs)  # per-worker caches
+        assert warm.savings == cold.savings
+        assert pooled.savings == cold.savings
+
+    def test_ablations_warm_cache_equals_cold(self):
+        TABLE_CACHE.clear()
+        cold = run_ablations(num_requests=N, seed=3, processes=1)
+        assert TABLE_CACHE.stats()["entries"] > 0
+        warm = run_ablations(num_requests=N, seed=3, processes=1)
+        pooled = run_ablations(num_requests=N, seed=3, processes=2)
+        assert warm.rows == cold.rows
+        assert pooled.rows == cold.rows
 
 
 class TestFig6SubsetResult:
