@@ -21,6 +21,11 @@ the repo's history:
   the identical trace through the process-wide ``TailTableCache``, a
   steady-state (constant-demand) run whose snapshot fingerprint never
   moves, and the incremental-vs-rebuild snapshot micro-benchmark.
+* ``decision_kernel``: the PR 5 incremental Eq. 2 kernel — same-trace
+  walls of the scalar/vectorized/kernel decision paths at moderate load
+  and in overload (where the O(1) event paths dominate), the kernel's
+  decision-path counters, and the steady-state constant-demand guard
+  (refreshes must carry kernel state, never invalidate it).
 
 Usage::
 
@@ -62,7 +67,7 @@ from repro.sim.trace import Trace
 from repro.workloads.apps import APPS
 
 #: Which PR this bench file tracks (bump per perf-relevant PR).
-PR_NUMBER = 4
+PR_NUMBER = 5
 
 #: Seed-measured reference numbers for the same workloads, recorded on
 #: the machine that produced BENCH_PR1.json before the PR 1 fast paths
@@ -99,6 +104,16 @@ PR3_BASELINE = {
     "rubik_run_s": 0.1512239409985341,
     "load_sweep_s": 1.7340111559988145,
     "regenerate_s": 7.398183022000012,
+}
+
+#: PR 4's recorded numbers (BENCH_PR4.json). PR 5's lever: the
+#: incremental Eq. 2 decision kernel (lean/certificate folds + O(1)
+#: event paths) dispatched by default, plus fig01/02/10/11/12 flattened
+#: onto the parallel runner.
+PR4_BASELINE = {
+    "rubik_run_s": 0.09476325500145322,
+    "load_sweep_s": 1.5304093200011266,
+    "regenerate_s": 6.822867158000008,
 }
 
 #: Events-per-request ceiling for the Rubik run: one arrival + one
@@ -207,6 +222,7 @@ def bench_controller_events(num_requests: int, load: float,
         out["speedup_vs_pr1"] = PR1_BASELINE["rubik_run_s"] / wall
         out["speedup_vs_pr2"] = PR2_BASELINE["rubik_run_s"] / wall
         out["speedup_vs_pr3"] = PR3_BASELINE["rubik_run_s"] / wall
+        out["speedup_vs_pr4"] = PR4_BASELINE["rubik_run_s"] / wall
         out["events_vs_pr1"] = (result.events_processed
                                 / PR1_BASELINE["rubik_run_events"])
     return out
@@ -225,6 +241,7 @@ def bench_load_sweep(loads, num_requests: int) -> Dict[str, float]:
         out["speedup_vs_pr1"] = PR1_BASELINE["load_sweep_s"] / wall
         out["speedup_vs_pr2"] = PR2_BASELINE["load_sweep_s"] / wall
         out["speedup_vs_pr3"] = PR3_BASELINE["load_sweep_s"] / wall
+        out["speedup_vs_pr4"] = PR4_BASELINE["load_sweep_s"] / wall
     return out
 
 
@@ -262,6 +279,7 @@ def bench_regenerate(experiments, num_requests: int) -> Dict[str, float]:
     if tuple(experiments) == FULL["regen_experiments"] and \
             num_requests == FULL["regen_requests"]:
         out["speedup_vs_pr3"] = PR3_BASELINE["regenerate_s"] / wall
+        out["speedup_vs_pr4"] = PR4_BASELINE["regenerate_s"] / wall
     return out
 
 
@@ -343,6 +361,78 @@ def bench_refresh_churn(num_requests: int, load: float,
     }
 
 
+def bench_decision_kernel(num_requests: int, load: float,
+                          reps: int = 3) -> Dict:
+    """The PR 5 incremental Eq. 2 decision kernel, three ways.
+
+    * **path A/B**: the identical trace under the scalar, vectorized,
+      and (default) kernel decision paths, best-of-``reps`` each with a
+      fingerprint-warm table cache — the kernel must at least match the
+      vectorized path at moderate load.
+    * **overload A/B**: the same comparison on an overloaded trace
+      (queue depths past ``CERT_MIN_QUEUE``), where the certificate
+      fold + O(1) event paths are the operating point.
+    * **counters**: the kernel's decision-path stats for both runs, and
+      the steady-state constant-demand guard — every post-warmup
+      refresh re-resolves to the same table pair, so the kernel must
+      never be invalidated by one (``invalidations_tables <= 1``).
+    """
+    app = APPS[BENCH_APP]
+    context = make_context(app, BENCH_SEED, num_requests)
+    trace = Trace.generate_at_load(app, load, num_requests, BENCH_SEED)
+    over_n = max(200, num_requests // 3)
+    over_context = make_context(app, BENCH_SEED, over_n)
+    over_trace = Trace.generate_at_load(app, 1.5, over_n, BENCH_SEED)
+    TABLE_CACHE.clear()
+    run_trace(trace, Rubik(), context)            # warm the table cache
+    run_trace(over_trace, Rubik(), over_context)
+
+    paths = {
+        "scalar": dict(vectorized=False),
+        "vectorized": dict(kernel=False),
+        "kernel": {},
+    }
+    walls: Dict[str, float] = {p: float("inf") for p in paths}
+    over_walls: Dict[str, float] = {p: float("inf") for p in paths}
+    kernel_stats: Dict[str, Dict] = {}
+    for _ in range(reps):
+        for path, flags in paths.items():
+            rubik = Rubik(**flags)
+            t0 = time.perf_counter()
+            run_trace(trace, rubik, context)
+            walls[path] = min(walls[path], time.perf_counter() - t0)
+            if path == "kernel":
+                kernel_stats["moderate"] = rubik.kernel_stats.as_dict()
+            rubik = Rubik(**flags)
+            t0 = time.perf_counter()
+            run_trace(over_trace, rubik, over_context)
+            over_walls[path] = min(over_walls[path],
+                                   time.perf_counter() - t0)
+            if path == "kernel":
+                kernel_stats["overload"] = rubik.kernel_stats.as_dict()
+
+    steady_app = dataclasses.replace(app, service_cv=0.0, long_fraction=0.0)
+    steady_context = make_context(steady_app, BENCH_SEED, num_requests)
+    steady_trace = Trace.generate_at_load(
+        steady_app, load, num_requests, BENCH_SEED)
+    steady_rubik = Rubik()
+    run_trace(steady_trace, steady_rubik, steady_context)
+    kernel_stats["steady_state"] = steady_rubik.kernel_stats.as_dict()
+
+    return {
+        "moderate": {f"{p}_wall_s": w for p, w in walls.items()},
+        "overload": {f"{p}_wall_s": w for p, w in over_walls.items()},
+        "kernel_speedup_vs_vectorized": walls["vectorized"] / walls["kernel"],
+        "kernel_speedup_vs_scalar": walls["scalar"] / walls["kernel"],
+        "overload_speedup_vs_vectorized":
+            over_walls["vectorized"] / over_walls["kernel"],
+        "overload_speedup_vs_scalar":
+            over_walls["scalar"] / over_walls["kernel"],
+        "kernel_stats": kernel_stats,
+        "steady_refresh_stats": steady_rubik.refresh_stats.as_dict(),
+    }
+
+
 def run_benchmarks(quick: bool = False) -> Dict:
     cfg = QUICK if quick else FULL
     results = {
@@ -358,6 +448,7 @@ def run_benchmarks(quick: bool = False) -> Dict:
         "pr1_baseline": PR1_BASELINE,
         "pr2_baseline": PR2_BASELINE,
         "pr3_baseline": PR3_BASELINE,
+        "pr4_baseline": PR4_BASELINE,
         "table_build": bench_table_build(cfg["table_reps"]),
         "controller_events": bench_controller_events(
             cfg["run_requests"], cfg["run_load"]),
@@ -367,6 +458,8 @@ def run_benchmarks(quick: bool = False) -> Dict:
             cfg["regen_experiments"], cfg["regen_requests"]),
         "refresh_churn": bench_refresh_churn(
             cfg["run_requests"], cfg["run_load"], cfg["snapshot_iters"]),
+        "decision_kernel": bench_decision_kernel(
+            cfg["run_requests"], cfg["run_load"]),
     }
     return results
 

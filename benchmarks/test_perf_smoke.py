@@ -109,6 +109,36 @@ def test_quick_bench_emits_trajectory_point(tmp_path):
         "maxsize above the per-run refresh count "
         f"({churn['refreshes']} refreshes here)")
 
+    # Decision-kernel guards (PR 5). The kernel path must cover every
+    # decision through its counted branches, steady state must never
+    # invalidate kernel state through a refresh (fingerprints re-resolve
+    # to the same pair, which instead *carries* the state), and the
+    # overload trace must actually exercise the certificate fold + O(1)
+    # event paths the kernel exists for.
+    dk = results["decision_kernel"]
+    for section in ("moderate", "overload"):
+        assert dk[section]["kernel_wall_s"] > 0
+        assert dk[section]["vectorized_wall_s"] > 0
+        assert dk[section]["scalar_wall_s"] > 0
+    # `decisions` is defined as the sum of the branch counters, so the
+    # independent check is against the event count: one decision per
+    # arrival + one per completion, with no event escaping a counted
+    # branch (a new early-return path that forgets its counter would
+    # make this total come up short).
+    mod = dk["kernel_stats"]["moderate"]
+    assert mod["decisions"] == 2 * run_bench.QUICK["run_requests"]
+    over = dk["kernel_stats"]["overload"]
+    assert over["cert_folds"] > 0
+    assert over["fast_arrivals"] + over["fast_completions"] > 0
+    steady = dk["kernel_stats"]["steady_state"]
+    assert steady["invalidations_tables"] <= 1, (
+        f"steady-state refreshes invalidated the kernel "
+        f"{steady['invalidations_tables']} times; identical fingerprints "
+        "must re-resolve to the same table pair and carry kernel state")
+    assert steady["refresh_carries"] > 0
+    assert dk["steady_refresh_stats"]["object_carries"] == \
+        steady["refresh_carries"]
+
     # The seed reference the trajectory is measured against is recorded
     # alongside every point.
     assert results["seed_baseline"] == run_bench.SEED_BASELINE

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.decision_kernel import DecisionKernel, KernelStats
 from repro.core.feedback import LatencyTargetTrimmer
 from repro.core.profiler import DemandProfiler
 from repro.core.table_cache import (
@@ -60,6 +61,7 @@ class Rubik(Scheme):
         num_rows: int = DEFAULT_NUM_ROWS,
         max_explicit: int = DEFAULT_MAX_EXPLICIT,
         vectorized: bool = True,
+        kernel: bool = True,
     ) -> None:
         """Args:
             update_period_s: target-tail-table refresh period.
@@ -72,9 +74,15 @@ class Rubik(Scheme):
             max_explicit: queue depth covered by convolution before the
                 CLT approximation takes over.
             vectorized: evaluate Eq. 2 as one NumPy expression over the
-                whole queue (default). The scalar per-request loop is kept
-                selectable so equivalence tests can pin the two paths to
-                identical decisions.
+                whole queue. The scalar per-request loop is kept
+                selectable (``vectorized=False``) so equivalence tests
+                can pin every path to identical decisions.
+            kernel: dispatch to the incremental decision kernel
+                (:mod:`repro.core.decision_kernel`), which keeps
+                per-queue state between events and re-folds only the
+                delta (default). Decision-equivalent to the other two
+                paths; requires ``vectorized`` (the scalar oracle always
+                wins when ``vectorized=False``).
         """
         if update_period_s <= 0:
             raise ValueError("update period must be positive")
@@ -84,6 +92,8 @@ class Rubik(Scheme):
         self.num_rows = num_rows
         self.max_explicit = max_explicit
         self._vectorized = vectorized
+        self._kernel_enabled = kernel
+        self._kernel: Optional[DecisionKernel] = None
         self.tables: Optional[TargetTailTables] = None
         self.trimmer: Optional[LatencyTargetTrimmer] = None
         self._last_table_update = float("-inf")
@@ -94,9 +104,17 @@ class Rubik(Scheme):
         self.refresh_stats = RefreshStats()
         # Pre-bound hot-path dispatch: the hooks run twice per simulated
         # event, and an if-dispatch per call is measurable there. The
-        # `vectorized` property setter keeps this in sync.
-        self._decide = (self._update_frequency_vectorized if vectorized
-                        else self._update_frequency_scalar)
+        # `vectorized`/`kernel` property setters keep this in sync.
+        self._rebind_decide()
+
+    def _rebind_decide(self) -> None:
+        """Bind ``_decide`` to the selected Eq. 2 evaluation path."""
+        if self._vectorized and self._kernel_enabled:
+            self._decide = self._update_frequency_kernel
+        elif self._vectorized:
+            self._decide = self._update_frequency_vectorized
+        else:
+            self._decide = self._update_frequency_scalar
 
     @property
     def name(self) -> str:  # type: ignore[override]
@@ -104,7 +122,7 @@ class Rubik(Scheme):
 
     @property
     def vectorized(self) -> bool:
-        """Which Eq. 2 evaluation path the controller runs."""
+        """Whether the NumPy/kernel paths are enabled (False = scalar)."""
         return self._vectorized
 
     @vectorized.setter
@@ -112,12 +130,46 @@ class Rubik(Scheme):
         # Keep the pre-bound hot-path dispatch in sync with the flag so
         # toggling after construction still takes effect.
         self._vectorized = value
-        self._decide = (self._update_frequency_vectorized if value
-                        else self._update_frequency_scalar)
+        if self._kernel is not None:
+            # A toggle may skip queue deltas; the epoch check would catch
+            # it, but an explicit invalidation keeps intent obvious.
+            self._kernel.invalidate()
+        self._rebind_decide()
+
+    @property
+    def kernel(self) -> bool:
+        """Whether the incremental decision kernel is enabled."""
+        return self._kernel_enabled
+
+    @kernel.setter
+    def kernel(self, value: bool) -> None:
+        self._kernel_enabled = value
+        if self._kernel is not None:
+            self._kernel.invalidate()
+        self._rebind_decide()
+
+    @property
+    def decision_path(self) -> str:
+        """The Eq. 2 evaluation path currently bound: ``"scalar"``,
+        ``"vectorized"``, or ``"kernel"``."""
+        if not self._vectorized:
+            return "scalar"
+        return "kernel" if self._kernel_enabled else "vectorized"
+
+    @property
+    def kernel_stats(self) -> Optional[KernelStats]:
+        """Decision-path counters of the active kernel (None before the
+        kernel's first decision, or when the kernel path is off)."""
+        return self._kernel.stats if self._kernel is not None else None
 
     # ------------------------------------------------------------------
     def setup(self, sim: Simulator, core: Core, context: SchemeContext) -> None:
         super().setup(sim, core, context)
+        # The kernel caches the context's DVFS grid; rebuild per run so a
+        # reused controller cannot carry a stale grid across contexts
+        # (and rebind _decide away from a previous run's kernel).
+        self._kernel = None
+        self._rebind_decide()
         if self.feedback_enabled:
             self.trimmer = LatencyTargetTrimmer(
                 bound_s=context.latency_bound_s,
@@ -187,10 +239,29 @@ class Rubik(Scheme):
             stats.columns_carried += (
                 (tables.cycles._built_cols - 1)
                 + (tables.memory._built_cols - 1))
+        if tables is self.tables:
+            # Steady state: the fingerprint re-resolved to the pair the
+            # controller already holds — the decision kernel's per-queue
+            # state (keyed on table identity) survives this refresh.
+            stats.object_carries += 1
+            kernel = self._kernel
+            if kernel is not None:
+                kernel.stats.refresh_carries += 1
         self.tables = tables
         self._last_table_update = now
         self._samples_at_last_update = self.profiler.total_observed
         self.table_updates += 1
+
+    def _update_frequency_kernel(self, core: Core) -> None:
+        """First kernel dispatch: build the kernel (it caches the
+        context's DVFS grid, available only after setup) and rebind
+        ``_decide`` straight to it — no per-event wrapper hop."""
+        kernel = self._kernel
+        if kernel is None:
+            kernel = self._kernel = DecisionKernel(self)
+        if self._decide.__func__ is Rubik._update_frequency_kernel:
+            self._decide = kernel.decide
+        kernel.decide(core)
 
     def _update_frequency_vectorized(self, core: Core) -> None:
         """Eq. 2 over the whole queue in one NumPy expression.

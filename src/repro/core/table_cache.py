@@ -59,12 +59,18 @@ class RefreshStats:
         columns_carried: explicit columns (beyond the always-built
             column 0) already materialized in reused table pairs at hit
             time — lazy build work the hit avoided re-paying.
+        object_carries: refreshes whose cache hit re-resolved to the
+            very table pair the controller already held (steady-state
+            fingerprints). Everything keyed on table identity — notably
+            the decision kernel's incremental per-queue state — survives
+            such a refresh untouched.
     """
 
     snapshots: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     columns_carried: int = 0
+    object_carries: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dataclasses.asdict(self)

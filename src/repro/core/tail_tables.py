@@ -185,6 +185,36 @@ class TailTable:
         return self.row_tails_list(
             bisect.bisect_right(self._row_bounds_list, elapsed) - 1, count)
 
+    def extended_row_list(self, row: int, count: int) -> list:
+        """Row tails for positions ``0..count-1`` as python floats,
+        CLT-extended past ``max_explicit``.
+
+        Returns the *same* cached append-only list object as
+        :meth:`row_tails_list`: once ``count`` exceeds the explicit
+        table, the full explicit prefix is forced and Gaussian tails are
+        appended with exactly the arithmetic :meth:`tail` uses
+        (bit-identical floats). Deep-queue controllers (the decision
+        kernel) therefore read one flat list per demand type — and the
+        extension travels with the table pair across ``TailTableCache``
+        hits, so deep columns built in one run are never re-paid by the
+        next.
+        """
+        max_explicit = self.max_explicit
+        cached = self.row_tails_list(
+            row, count if count <= max_explicit else max_explicit)
+        if count > len(cached):
+            row_mean = float(self.row_means[row])
+            row_var = float(self.row_vars[row])
+            base_mean = self.base_mean
+            base_var = self.base_var
+            z = self._z
+            append = cached.append
+            for position in range(len(cached), count):
+                mean = row_mean + position * base_mean
+                var = row_var + position * base_var
+                append(max(0.0, float(mean + z * math.sqrt(max(var, 0.0)))))
+        return cached
+
     # ------------------------------------------------------------------
     def row_for_elapsed(self, elapsed: float) -> int:
         """Row whose elapsed-work band contains ``elapsed``."""

@@ -17,6 +17,7 @@ from repro.analysis.tables import render_series, render_table
 from repro.analysis.windows import windowed_series
 from repro.core.controller import Rubik
 from repro.experiments.common import make_context
+from repro.perf import parallel_map
 from repro.schemes.static_oracle import StaticOracle
 from repro.sim.arrivals import LoadSchedule
 from repro.sim.server import run_trace
@@ -69,20 +70,31 @@ class Fig1bResult:
         return "\n".join(lines)
 
 
-def run_fig1a(num_requests: Optional[int] = None,
-              seed: int = 21) -> Fig1aResult:
-    """Energy-per-request comparison (Fig. 1a)."""
+def _fig1a_point(args) -> Tuple[float, float]:
+    """One load of the Fig. 1a comparison (module-level so the parallel
+    sweep executor can fan loads out across worker processes)."""
+    load, num_requests, seed = args
     app = MASSTREE
     context = make_context(app, seed, num_requests)
-    static_mj, rubik_mj = [], []
-    for load in LOADS:
-        trace = Trace.generate_at_load(app, load, num_requests, seed)
-        static = StaticOracle()
-        static_res = static.evaluate(trace, context)
-        rubik_res = run_trace(trace, Rubik(), context)
-        static_mj.append(static_res.energy_per_request_j * 1e3)
-        rubik_mj.append(rubik_res.energy_per_request_j * 1e3)
-    return Fig1aResult(LOADS, static_mj, rubik_mj)
+    trace = Trace.generate_at_load(app, load, num_requests, seed)
+    static_res = StaticOracle().evaluate(trace, context)
+    rubik_res = run_trace(trace, Rubik(), context)
+    return (static_res.energy_per_request_j * 1e3,
+            rubik_res.energy_per_request_j * 1e3)
+
+
+def run_fig1a(num_requests: Optional[int] = None, seed: int = 21,
+              processes: Optional[int] = None) -> Fig1aResult:
+    """Energy-per-request comparison (Fig. 1a).
+
+    The per-load points are independent and fan out over
+    :func:`repro.perf.parallel_map` (bitwise-identical to the serial
+    loop; pinned in ``tests/experiments/test_runner_equivalence.py``).
+    """
+    rows = parallel_map(_fig1a_point,
+                        [(load, num_requests, seed) for load in LOADS],
+                        processes=processes)
+    return Fig1aResult(LOADS, [r[0] for r in rows], [r[1] for r in rows])
 
 
 def run_fig1b(num_requests: int = 6000, seed: int = 21,

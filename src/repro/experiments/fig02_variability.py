@@ -17,6 +17,7 @@ from repro.analysis.stats import empirical_cdf
 from repro.analysis.tables import render_series, render_table
 from repro.analysis.windows import instantaneous_qps, windowed_series
 from repro.config import NOMINAL_FREQUENCY_HZ
+from repro.perf import parallel_map
 from repro.schemes.replay import lindley_finish_times, replay
 from repro.sim.trace import Trace
 from repro.workloads.apps import APPS, app_names
@@ -43,21 +44,30 @@ class Fig2aResult:
                   "(5 ms windows; quantiles of CDF)")
 
 
+def _fig2a_point(args) -> List[float]:
+    """One app of Fig. 2a (module-level for the parallel executor)."""
+    name, load, num_requests, seed, quantiles = args
+    app = APPS[name]
+    trace = Trace.generate_at_load(app, load, num_requests, seed)
+    qps = instantaneous_qps(trace.arrivals, window_s=5e-3)
+    mean_rate = len(trace) / trace.duration()
+    normalized = qps / mean_rate
+    return [float(np.percentile(normalized, q)) for q in quantiles]
+
+
 def run_fig2a(num_requests: Optional[int] = None, seed: int = 21,
               load: float = DEFAULT_LOAD,
               quantiles: Tuple[float, ...] = (10, 50, 90, 99),
+              processes: Optional[int] = None,
               ) -> Fig2aResult:
-    """Instantaneous-load CDFs (Fig. 2a)."""
-    per_app: Dict[str, List[float]] = {}
-    for name in app_names():
-        app = APPS[name]
-        trace = Trace.generate_at_load(app, load, num_requests, seed)
-        qps = instantaneous_qps(trace.arrivals, window_s=5e-3)
-        mean_rate = len(trace) / trace.duration()
-        normalized = qps / mean_rate
-        per_app[name] = [float(np.percentile(normalized, q))
-                         for q in quantiles]
-    return Fig2aResult(quantiles, per_app)
+    """Instantaneous-load CDFs (Fig. 2a), one parallel point per app."""
+    names = app_names()
+    rows = parallel_map(
+        _fig2a_point,
+        [(name, load, num_requests, seed, tuple(quantiles))
+         for name in names],
+        processes=processes)
+    return Fig2aResult(quantiles, dict(zip(names, rows)))
 
 
 @dataclasses.dataclass
@@ -135,19 +145,31 @@ class Fig2cResult:
                   "time, vs load")
 
 
+def _fig2c_point(args) -> float:
+    """One (app, load) cell of Fig. 2c (module-level, picklable)."""
+    name, load, num_requests, seed = args
+    trace = Trace.generate_at_load(APPS[name], load, num_requests, seed)
+    rep = replay(trace, NOMINAL_FREQUENCY_HZ)
+    svc95 = float(np.percentile(rep.service_times, 95))
+    return rep.tail_latency() / svc95
+
+
 def run_fig2c(num_requests: Optional[int] = None, seed: int = 21,
-              loads: Tuple[float, ...] = LOAD_SWEEP) -> Fig2cResult:
-    """Normalized tail latency vs load (Fig. 2c)."""
-    per_app: Dict[str, List[float]] = {}
-    for name in app_names():
-        app = APPS[name]
-        vals = []
-        for load in loads:
-            trace = Trace.generate_at_load(app, load, num_requests, seed)
-            rep = replay(trace, NOMINAL_FREQUENCY_HZ)
-            svc95 = float(np.percentile(rep.service_times, 95))
-            vals.append(rep.tail_latency() / svc95)
-        per_app[name] = vals
+              loads: Tuple[float, ...] = LOAD_SWEEP,
+              processes: Optional[int] = None) -> Fig2cResult:
+    """Normalized tail latency vs load (Fig. 2c).
+
+    The app x load matrix flattens into independent points over the
+    parallel executor, regrouped per app in load order (identical to
+    the old nested serial loops).
+    """
+    names = app_names()
+    flat = iter(parallel_map(
+        _fig2c_point,
+        [(name, load, num_requests, seed)
+         for name in names for load in loads],
+        processes=processes))
+    per_app = {name: [next(flat) for _ in loads] for name in names}
     return Fig2cResult(loads, per_app)
 
 

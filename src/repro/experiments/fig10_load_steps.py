@@ -19,6 +19,7 @@ from repro.analysis.tables import render_series
 from repro.analysis.windows import windowed_series
 from repro.core.controller import Rubik
 from repro.experiments.common import make_context, training_traces
+from repro.perf import parallel_map
 from repro.schemes.adrenaline import AdrenalineOracle
 from repro.schemes.base import Scheme
 from repro.schemes.static_oracle import StaticOracle
@@ -146,14 +147,24 @@ def _power_series(run: RunResult) -> Tuple[np.ndarray, np.ndarray]:
     return t, v / WINDOW_S
 
 
+def _step_response_point(args) -> StepResponseResult:
+    """One app's step response (module-level for the parallel executor;
+    the result dataclass is plain arrays/dicts, so it pickles)."""
+    name, seed, num_requests = args
+    return run_step_response(name, seed, num_requests)
+
+
 def run_fig10(apps: Optional[Sequence[str]] = None, seed: int = 21,
               num_requests: Optional[int] = None,
+              processes: Optional[int] = None,
               ) -> Dict[str, StepResponseResult]:
-    """Step-response traces for all five apps."""
-    return {
-        name: run_step_response(name, seed, num_requests)
-        for name in (apps or app_names())
-    }
+    """Step-response traces for all five apps (one parallel point per
+    app; identical to the serial per-app loop)."""
+    names = tuple(apps or app_names())
+    results = parallel_map(_step_response_point,
+                           [(name, seed, num_requests) for name in names],
+                           processes=processes)
+    return dict(zip(names, results))
 
 
 def main(num_requests: Optional[int] = None) -> str:

@@ -25,6 +25,7 @@ import numpy as np
 from repro.analysis.tables import render_table
 from repro.config import NOMINAL_FREQUENCY_HZ, real_system_dvfs
 from repro.core.controller import Rubik
+from repro.perf import parallel_map
 from repro.schemes.base import SchemeContext
 from repro.schemes.replay import replay
 from repro.schemes.static_oracle import StaticOracle
@@ -72,29 +73,41 @@ class Fig11Result:
                   f"{self.rubik_meets_bound})")
 
 
-def run_fig11(num_requests: Optional[int] = None,
-              seed: int = 21) -> Fig11Result:
-    """Real-system comparison for masstree and moses."""
+def _fig11_app_point(args):
+    """One real-system app (all loads) — module-level, picklable."""
+    name, num_requests, seed = args
     dvfs = real_system_dvfs()
-    savings: Dict[str, Dict[float, Dict[str, float]]] = {}
+    app = real_system_variant(APPS[name])
+    bound_trace = Trace.generate_at_load(app, 0.5, num_requests, seed)
+    bound = replay(bound_trace, NOMINAL_FREQUENCY_HZ).tail_latency()
+    context = SchemeContext(latency_bound_s=bound, dvfs=dvfs, app=app)
+    per_load: Dict[float, Dict[str, float]] = {}
     meets = True
-    for name in REAL_SYSTEM_APPS:
-        app = real_system_variant(APPS[name])
-        bound_trace = Trace.generate_at_load(app, 0.5, num_requests, seed)
-        bound = replay(bound_trace, NOMINAL_FREQUENCY_HZ).tail_latency()
-        context = SchemeContext(latency_bound_s=bound, dvfs=dvfs, app=app)
-        savings[name] = {}
-        for load in LOADS:
-            trace = Trace.generate_at_load(app, load, num_requests, seed)
-            base = replay(trace, NOMINAL_FREQUENCY_HZ).mean_core_power_w
-            static_res = StaticOracle().evaluate(trace, context)
-            rubik_run = run_trace(trace, Rubik(), context)
-            if rubik_run.violation_rate(bound) > 0.07:
-                meets = False
-            savings[name][load] = {
-                "StaticOracle": 1.0 - static_res.mean_core_power_w / base,
-                "Rubik": 1.0 - rubik_run.mean_core_power_w / base,
-            }
+    for load in LOADS:
+        trace = Trace.generate_at_load(app, load, num_requests, seed)
+        base = replay(trace, NOMINAL_FREQUENCY_HZ).mean_core_power_w
+        static_res = StaticOracle().evaluate(trace, context)
+        rubik_run = run_trace(trace, Rubik(), context)
+        if rubik_run.violation_rate(bound) > 0.07:
+            meets = False
+        per_load[load] = {
+            "StaticOracle": 1.0 - static_res.mean_core_power_w / base,
+            "Rubik": 1.0 - rubik_run.mean_core_power_w / base,
+        }
+    return per_load, meets
+
+
+def run_fig11(num_requests: Optional[int] = None, seed: int = 21,
+              processes: Optional[int] = None) -> Fig11Result:
+    """Real-system comparison for masstree and moses (one parallel
+    point per app; identical to the serial per-app loop)."""
+    rows = parallel_map(
+        _fig11_app_point,
+        [(name, num_requests, seed) for name in REAL_SYSTEM_APPS],
+        processes=processes)
+    savings = {name: row[0]
+               for name, row in zip(REAL_SYSTEM_APPS, rows)}
+    meets = all(row[1] for row in rows)
     return Fig11Result(LOADS, savings, meets)
 
 

@@ -15,6 +15,7 @@ from repro.analysis.tables import render_table
 from repro.config import NOMINAL_FREQUENCY_HZ
 from repro.core.controller import Rubik
 from repro.experiments.common import make_context
+from repro.perf import parallel_map
 from repro.power.model import DEFAULT_SYSTEM_POWER, SystemPowerModel
 from repro.schemes.replay import replay
 from repro.sim.server import run_trace
@@ -42,31 +43,40 @@ class Fig12Result:
             title="Fig. 12: Rubik full-system power savings at 30% load")
 
 
+def _fig12_point(args):
+    """One app of Fig. 12 (module-level for the parallel executor)."""
+    name, load, num_requests, seed, system = args
+    app = APPS[name]
+    context = make_context(app, seed, num_requests)
+    trace = Trace.generate_at_load(app, load, num_requests, seed)
+    fixed = replay(trace, NOMINAL_FREQUENCY_HZ)
+    rubik = run_trace(trace, Rubik(), context)
+    # Platform activity (uncore traffic, DRAM accesses) follows the
+    # *work rate*, which is the same under both schemes — running the
+    # same requests slower does not add memory accesses. Both servers
+    # therefore see the platform at the offered load.
+    fixed_server = system.server_power(
+        fixed.mean_core_power_w, utilization=min(1.0, load))
+    rubik_server = system.server_power(
+        rubik.mean_core_power_w, utilization=min(1.0, load))
+    return (1.0 - rubik_server / fixed_server,
+            1.0 - rubik.mean_core_power_w / fixed.mean_core_power_w)
+
+
 def run_fig12(num_requests: Optional[int] = None, seed: int = 21,
               load: float = LOAD,
               system: SystemPowerModel = DEFAULT_SYSTEM_POWER,
+              processes: Optional[int] = None,
               ) -> Fig12Result:
-    """System-level savings: Rubik vs fixed-frequency at 30% load."""
-    per_app: Dict[str, float] = {}
-    core_savings: Dict[str, float] = {}
-    for name in app_names():
-        app = APPS[name]
-        context = make_context(app, seed, num_requests)
-        trace = Trace.generate_at_load(app, load, num_requests, seed)
-        fixed = replay(trace, NOMINAL_FREQUENCY_HZ)
-        rubik = run_trace(trace, Rubik(), context)
-        # Platform activity (uncore traffic, DRAM accesses) follows the
-        # *work rate*, which is the same under both schemes — running the
-        # same requests slower does not add memory accesses. Both servers
-        # therefore see the platform at the offered load.
-        fixed_server = system.server_power(
-            fixed.mean_core_power_w, utilization=min(1.0, load))
-        rubik_server = system.server_power(
-            rubik.mean_core_power_w, utilization=min(1.0, load))
-        per_app[name] = 1.0 - rubik_server / fixed_server
-        core_savings[name] = (
-            1.0 - rubik.mean_core_power_w / fixed.mean_core_power_w)
-    return Fig12Result(per_app, core_savings)
+    """System-level savings: Rubik vs fixed-frequency at 30% load (one
+    parallel point per app; identical to the serial loop)."""
+    names = app_names()
+    rows = parallel_map(
+        _fig12_point,
+        [(name, load, num_requests, seed, system) for name in names],
+        processes=processes)
+    return Fig12Result({n: r[0] for n, r in zip(names, rows)},
+                       {n: r[1] for n, r in zip(names, rows)})
 
 
 def main(num_requests: Optional[int] = None) -> str:

@@ -118,6 +118,13 @@ class Core:
         #: maintained incrementally so per-event controllers can read the
         #: whole system state as one array without walking Request objects.
         self._pending_arrivals: Deque[float] = deque()
+        #: Monotone count of queue deltas (admissions + completions),
+        #: bumped before the listener hooks fire. Controllers keeping
+        #: incremental per-queue state (the Rubik decision kernel) use it
+        #: to verify they saw exactly one delta since their last
+        #: decision; a skip (mid-run path toggle, shared core) safely
+        #: degrades them to a full recompute.
+        self.queue_epoch = 0
         self.background = background
         self._interference_cycles = interference_cycles
         self.listeners: List[CoreListener] = []
@@ -213,6 +220,7 @@ class Core:
     def enqueue(self, request: Request) -> None:
         """Admit a new LC request (called by the arrival process)."""
         self._pending_arrivals.append(request.arrival_time)
+        self.queue_epoch += 1
         if self.current is None:
             self._begin_service(request)
         else:
@@ -341,6 +349,7 @@ class Core:
         request.finish_time = self.sim.now
         self.completed.append(request)
         self._pending_arrivals.popleft()  # FIFO: the oldest just finished
+        self.queue_epoch += 1
         self.current = None
         self._completion_entry = None
         if self.queue:

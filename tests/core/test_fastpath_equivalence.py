@@ -163,8 +163,11 @@ class TestControllerEquivalence:
         trace = Trace.generate_at_load(app, load, n, seed)
         runs = {}
         for vectorized in (False, True):
+            # kernel=False: this test pins the *vectorized* NumPy path
+            # specifically (the kernel has its own oracle suite in
+            # tests/core/test_decision_kernel.py).
             runs[vectorized] = run_trace(
-                trace, Rubik(vectorized=vectorized), ctx,
+                trace, Rubik(vectorized=vectorized, kernel=False), ctx,
                 record_freq_history=True)
         scalar, vector = runs[False], runs[True]
         assert scalar.freq_history  # opt-in must actually record
@@ -186,8 +189,9 @@ class TestControllerEquivalence:
         (not just the shallow fast path) is exercised."""
         ctx = make_context(MASSTREE, 13, 2000)
         trace = Trace.generate_at_load(MASSTREE, 1.4, 2000, 13)
-        runs = [run_trace(trace, Rubik(vectorized=v, max_explicit=4), ctx,
-                          record_freq_history=True)
+        runs = [run_trace(trace,
+                          Rubik(vectorized=v, kernel=False, max_explicit=4),
+                          ctx, record_freq_history=True)
                 for v in (False, True)]
         assert runs[0].freq_history  # opt-in must actually record
         assert runs[0].freq_history == runs[1].freq_history

@@ -1,6 +1,7 @@
 """Unified-runner tests: serial-vs-parallel bitwise equivalence for the
-newly ported drivers (fig06, ablations, table1), the experiment
-registry/CLI, and the memoized latency bound.
+ported drivers (fig06, ablations, table1 since PR 3; fig01, fig02,
+fig10, fig11, fig12 since PR 5), the experiment registry/CLI, and the
+memoized latency bound.
 
 Mirrors the contract of ``tests/core/test_fastpath_equivalence.py``:
 fanning points out over worker processes (forced ``processes=2`` — the
@@ -8,13 +9,19 @@ CI container has one CPU) must reproduce the serial outputs exactly,
 not approximately.
 """
 
+import numpy as np
 import pytest
 
 from repro.core.table_cache import TABLE_CACHE
 from repro.experiments import runner
 from repro.experiments.ablations import run_ablations
 from repro.experiments.common import latency_bound
+from repro.experiments.fig01_intro import run_fig1a
+from repro.experiments.fig02_variability import run_fig2a, run_fig2c
 from repro.experiments.fig06_power_savings import run_fig6
+from repro.experiments.fig10_load_steps import run_fig10
+from repro.experiments.fig11_real_system import run_fig11
+from repro.experiments.fig12_system_power import run_fig12
 from repro.experiments.table1_correlations import run_table1
 from repro.perf import WorkerPool, pools_created
 from repro.perf.parallel import MAX_WORKERS_ENV
@@ -51,6 +58,55 @@ class TestBitwiseEquivalence:
         serial = run_table1(num_requests=N, seed=7, processes=1)
         pooled = run_table1(num_requests=N, seed=7, processes=2)
         assert pooled.per_app == serial.per_app
+
+    def test_fig1a_pool_equals_serial(self):
+        serial = run_fig1a(num_requests=N, processes=1)
+        pooled = run_fig1a(num_requests=N, processes=2)
+        assert pooled.static_oracle_mj == serial.static_oracle_mj
+        assert pooled.rubik_mj == serial.rubik_mj
+        assert pooled.loads == serial.loads
+
+    def test_fig2a_fig2c_pool_equals_serial(self):
+        serial_a = run_fig2a(num_requests=N, processes=1)
+        pooled_a = run_fig2a(num_requests=N, processes=2)
+        assert pooled_a.per_app == serial_a.per_app
+        assert list(pooled_a.per_app) == list(serial_a.per_app)
+        kwargs = dict(num_requests=N, loads=(0.3, 0.6))
+        serial_c = run_fig2c(processes=1, **kwargs)
+        pooled_c = run_fig2c(processes=2, **kwargs)
+        assert pooled_c.per_app == serial_c.per_app
+        assert pooled_c.loads == serial_c.loads
+
+    def test_fig10_pool_equals_serial(self):
+        kwargs = dict(apps=("masstree", "xapian"), num_requests=250)
+        serial = run_fig10(processes=1, **kwargs)
+        pooled = run_fig10(processes=2, **kwargs)
+        assert list(pooled) == list(serial)
+        for name in serial:
+            s, p = serial[name], pooled[name]
+            assert p.bound_ms == s.bound_ms
+            assert list(p.tail_series_ms) == list(s.tail_series_ms)
+            for scheme in s.tail_series_ms:
+                for ps, ss in ((p.tail_series_ms[scheme],
+                                s.tail_series_ms[scheme]),
+                               (p.power_series_w[scheme],
+                                s.power_series_w[scheme])):
+                    np.testing.assert_array_equal(ps[0], ss[0])
+                    np.testing.assert_array_equal(ps[1], ss[1])
+            np.testing.assert_array_equal(p.rubik_freq[0], s.rubik_freq[0])
+            np.testing.assert_array_equal(p.rubik_freq[1], s.rubik_freq[1])
+
+    def test_fig11_pool_equals_serial(self):
+        serial = run_fig11(num_requests=N, processes=1)
+        pooled = run_fig11(num_requests=N, processes=2)
+        assert pooled.savings == serial.savings
+        assert pooled.rubik_meets_bound == serial.rubik_meets_bound
+
+    def test_fig12_pool_equals_serial(self):
+        serial = run_fig12(num_requests=N, processes=1)
+        pooled = run_fig12(num_requests=N, processes=2)
+        assert pooled.per_app == serial.per_app
+        assert pooled.core_savings == serial.core_savings
 
     def test_drivers_under_one_shared_pool_equal_serial(self):
         """The regenerate-all shape: several drivers inside one
