@@ -25,7 +25,13 @@ the repo's history:
   walls of the scalar/vectorized/kernel decision paths at moderate load
   and in overload (where the O(1) event paths dominate), the kernel's
   decision-path counters, and the steady-state constant-demand guard
-  (refreshes must carry kernel state, never invalidate it).
+  (refreshes must carry kernel state, never invalidate it). Since PR 6
+  the A/B includes the native C path when its library builds.
+* ``native_kernel``: the PR 6 native C decision/event kernel — build
+  time and fallback status from the build-on-first-use loader, span
+  engagement + decision counters of a default run, and the native
+  path's speedups over the Python kernel and the PR 5 trajectory
+  point (the headline: the overload wall vs BENCH_PR5's kernel).
 
 Usage::
 
@@ -53,6 +59,7 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from repro.core._native import build as native_build
 from repro.core.controller import Rubik
 from repro.core.histogram import Histogram
 from repro.core.profiler import DemandProfiler
@@ -67,7 +74,7 @@ from repro.sim.trace import Trace
 from repro.workloads.apps import APPS
 
 #: Which PR this bench file tracks (bump per perf-relevant PR).
-PR_NUMBER = 5
+PR_NUMBER = 6
 
 #: Seed-measured reference numbers for the same workloads, recorded on
 #: the machine that produced BENCH_PR1.json before the PR 1 fast paths
@@ -114,6 +121,21 @@ PR4_BASELINE = {
     "rubik_run_s": 0.09476325500145322,
     "load_sweep_s": 1.5304093200011266,
     "regenerate_s": 6.822867158000008,
+}
+
+#: PR 5's recorded numbers (BENCH_PR5.json). PR 6's lever: the native C
+#: decision/event kernel — the Eq. 2 folds plus the whole event-step
+#: inner loop in one shared library, dispatched by default when it
+#: builds. The decision walls are the same-trace A/B numbers from
+#: BENCH_PR5's ``decision_kernel`` section; the overload kernel wall is
+#: the reference the native path's headline speedup is measured against.
+PR5_BASELINE = {
+    "rubik_run_s": 0.08849415900112945,
+    "load_sweep_s": 1.4732989900003304,
+    "regenerate_s": 6.105114543999662,
+    "decision_moderate_kernel_s": 0.09099380199950247,
+    "decision_overload_kernel_s": 0.05173138600002858,
+    "decision_overload_scalar_s": 1.9314146699998673,
 }
 
 #: Events-per-request ceiling for the Rubik run: one arrival + one
@@ -223,6 +245,7 @@ def bench_controller_events(num_requests: int, load: float,
         out["speedup_vs_pr2"] = PR2_BASELINE["rubik_run_s"] / wall
         out["speedup_vs_pr3"] = PR3_BASELINE["rubik_run_s"] / wall
         out["speedup_vs_pr4"] = PR4_BASELINE["rubik_run_s"] / wall
+        out["speedup_vs_pr5"] = PR5_BASELINE["rubik_run_s"] / wall
         out["events_vs_pr1"] = (result.events_processed
                                 / PR1_BASELINE["rubik_run_events"])
     return out
@@ -242,6 +265,7 @@ def bench_load_sweep(loads, num_requests: int) -> Dict[str, float]:
         out["speedup_vs_pr2"] = PR2_BASELINE["load_sweep_s"] / wall
         out["speedup_vs_pr3"] = PR3_BASELINE["load_sweep_s"] / wall
         out["speedup_vs_pr4"] = PR4_BASELINE["load_sweep_s"] / wall
+        out["speedup_vs_pr5"] = PR5_BASELINE["load_sweep_s"] / wall
     return out
 
 
@@ -280,6 +304,7 @@ def bench_regenerate(experiments, num_requests: int) -> Dict[str, float]:
             num_requests == FULL["regen_requests"]:
         out["speedup_vs_pr3"] = PR3_BASELINE["regenerate_s"] / wall
         out["speedup_vs_pr4"] = PR4_BASELINE["regenerate_s"] / wall
+        out["speedup_vs_pr5"] = PR5_BASELINE["regenerate_s"] / wall
     return out
 
 
@@ -366,9 +391,9 @@ def bench_decision_kernel(num_requests: int, load: float,
     """The PR 5 incremental Eq. 2 decision kernel, three ways.
 
     * **path A/B**: the identical trace under the scalar, vectorized,
-      and (default) kernel decision paths, best-of-``reps`` each with a
-      fingerprint-warm table cache — the kernel must at least match the
-      vectorized path at moderate load.
+      kernel, and (when the library builds) native decision paths,
+      best-of-``reps`` each with a fingerprint-warm table cache — the
+      kernel must at least match the vectorized path at moderate load.
     * **overload A/B**: the same comparison on an overloaded trace
       (queue depths past ``CERT_MIN_QUEUE``), where the certificate
       fold + O(1) event paths are the operating point.
@@ -390,8 +415,10 @@ def bench_decision_kernel(num_requests: int, load: float,
     paths = {
         "scalar": dict(vectorized=False),
         "vectorized": dict(kernel=False),
-        "kernel": {},
+        "kernel": dict(kernel=True),
     }
+    if native_build.available():
+        paths["native"] = dict(kernel="native")
     walls: Dict[str, float] = {p: float("inf") for p in paths}
     over_walls: Dict[str, float] = {p: float("inf") for p in paths}
     kernel_stats: Dict[str, Dict] = {}
@@ -401,15 +428,21 @@ def bench_decision_kernel(num_requests: int, load: float,
             t0 = time.perf_counter()
             run_trace(trace, rubik, context)
             walls[path] = min(walls[path], time.perf_counter() - t0)
-            if path == "kernel":
-                kernel_stats["moderate"] = rubik.kernel_stats.as_dict()
+            if path in ("kernel", "native"):
+                kernel_stats[f"moderate_{path}"] = \
+                    rubik.kernel_stats.as_dict()
             rubik = Rubik(**flags)
             t0 = time.perf_counter()
             run_trace(over_trace, rubik, over_context)
             over_walls[path] = min(over_walls[path],
                                    time.perf_counter() - t0)
-            if path == "kernel":
-                kernel_stats["overload"] = rubik.kernel_stats.as_dict()
+            if path in ("kernel", "native"):
+                kernel_stats[f"overload_{path}"] = \
+                    rubik.kernel_stats.as_dict()
+    # Back-compat aliases: the Python kernel's counters under the PR 5
+    # key names, so trajectory diffs line up across bench files.
+    kernel_stats["moderate"] = kernel_stats["moderate_kernel"]
+    kernel_stats["overload"] = kernel_stats["overload_kernel"]
 
     steady_app = dataclasses.replace(app, service_cv=0.0, long_fraction=0.0)
     steady_context = make_context(steady_app, BENCH_SEED, num_requests)
@@ -419,7 +452,7 @@ def bench_decision_kernel(num_requests: int, load: float,
     run_trace(steady_trace, steady_rubik, steady_context)
     kernel_stats["steady_state"] = steady_rubik.kernel_stats.as_dict()
 
-    return {
+    out = {
         "moderate": {f"{p}_wall_s": w for p, w in walls.items()},
         "overload": {f"{p}_wall_s": w for p, w in over_walls.items()},
         "kernel_speedup_vs_vectorized": walls["vectorized"] / walls["kernel"],
@@ -431,6 +464,64 @@ def bench_decision_kernel(num_requests: int, load: float,
         "kernel_stats": kernel_stats,
         "steady_refresh_stats": steady_rubik.refresh_stats.as_dict(),
     }
+    if "native" in walls:
+        out["native_speedup_vs_kernel"] = walls["kernel"] / walls["native"]
+        out["overload_native_speedup_vs_kernel"] = \
+            over_walls["kernel"] / over_walls["native"]
+        out["overload_native_speedup_vs_scalar"] = \
+            over_walls["scalar"] / over_walls["native"]
+    return out
+
+
+def bench_native_kernel(decision_kernel: Dict) -> Dict:
+    """The PR 6 native C kernel: build/fallback status + headline walls.
+
+    The A/B walls come from :func:`bench_decision_kernel` (same traces,
+    same best-of estimator — no second measurement to drift from); this
+    section adds the loader's build/fallback diagnostics, the span
+    engagement proof of a default run (every decision must land in a
+    counted branch of the native kernel), and the trajectory headline:
+    the native overload wall vs BENCH_PR5's Python-kernel wall.
+    """
+    out: Dict[str, object] = {
+        "available": native_build.available(),
+        "build": native_build.build_info(),
+    }
+    if not native_build.available():
+        out["fallback"] = "python kernel serves all dispatches"
+        return out
+
+    # Span engagement: a default (kernel="auto") run hands the whole
+    # event loop to the C span kernel; the counters prove every decision
+    # executed natively (one per arrival + one per completion).
+    app = APPS[BENCH_APP]
+    n = 600
+    context = make_context(app, BENCH_SEED, n)
+    trace = Trace.generate_at_load(app, 0.5, n, BENCH_SEED)
+    rubik = Rubik()
+    result = run_trace(trace, rubik, context)
+    stats = rubik.kernel_stats.as_dict()
+    out["span"] = {
+        "decision_path": rubik.decision_path,
+        "requests": len(result.requests),
+        "decisions": stats["decisions"],
+        "events_processed": result.events_processed,
+        "kernel_stats": stats,
+    }
+
+    mod = decision_kernel["moderate"]
+    over = decision_kernel["overload"]
+    out["moderate_wall_s"] = mod["native_wall_s"]
+    out["overload_wall_s"] = over["native_wall_s"]
+    out["speedup_vs_kernel_moderate"] = \
+        mod["kernel_wall_s"] / mod["native_wall_s"]
+    out["speedup_vs_kernel_overload"] = \
+        over["kernel_wall_s"] / over["native_wall_s"]
+    out["speedup_vs_scalar_overload"] = \
+        over["scalar_wall_s"] / over["native_wall_s"]
+    out["overload_speedup_vs_pr5"] = (
+        PR5_BASELINE["decision_overload_kernel_s"] / over["native_wall_s"])
+    return out
 
 
 def run_benchmarks(quick: bool = False) -> Dict:
@@ -449,6 +540,7 @@ def run_benchmarks(quick: bool = False) -> Dict:
         "pr2_baseline": PR2_BASELINE,
         "pr3_baseline": PR3_BASELINE,
         "pr4_baseline": PR4_BASELINE,
+        "pr5_baseline": PR5_BASELINE,
         "table_build": bench_table_build(cfg["table_reps"]),
         "controller_events": bench_controller_events(
             cfg["run_requests"], cfg["run_load"]),
@@ -461,6 +553,8 @@ def run_benchmarks(quick: bool = False) -> Dict:
         "decision_kernel": bench_decision_kernel(
             cfg["run_requests"], cfg["run_load"]),
     }
+    results["native_kernel"] = bench_native_kernel(
+        results["decision_kernel"])
     return results
 
 

@@ -139,6 +139,31 @@ def test_quick_bench_emits_trajectory_point(tmp_path):
     assert dk["steady_refresh_stats"]["object_carries"] == \
         steady["refresh_carries"]
 
+    # Native-kernel guards (PR 6). The section must always report the
+    # loader's status; when the library is available the default path
+    # must actually be native, the span loop must cover every decision
+    # (one per arrival + one per completion — a C branch that forgot
+    # its counter would come up short), and its counters must agree
+    # with the Python kernel's on the identical trace. When it is not,
+    # the fallback must be recorded, not silently absent.
+    nk = results["native_kernel"]
+    if nk["available"]:
+        assert nk["build"]["attempted"] and nk["build"]["loaded"]
+        span = nk["span"]
+        assert span["decision_path"] == "native"
+        assert span["decisions"] == 2 * span["requests"]
+        assert nk["moderate_wall_s"] > 0
+        assert nk["overload_wall_s"] > 0
+        assert dk["kernel_stats"]["moderate_native"] == \
+            dk["kernel_stats"]["moderate_kernel"]
+        assert dk["kernel_stats"]["overload_native"] == \
+            dk["kernel_stats"]["overload_kernel"]
+    else:
+        assert nk["fallback"]
+        # Either the env gate opted out, or a build/load failure was
+        # recorded — never a silent absence.
+        assert nk["build"]["env_mode"] == "0" or nk["build"]["error"]
+
     # The seed reference the trajectory is measured against is recorded
     # alongside every point.
     assert results["seed_baseline"] == run_bench.SEED_BASELINE

@@ -2,7 +2,30 @@
 
 Enables `pip install -e . --no-build-isolation` (legacy editable install)
 on machines where PEP 517 editable builds are unavailable offline.
+
+Also offers the native Rubik kernel as an *optional* install-time build:
+the shared library is compiled with the system C compiler when one is
+available, and skipped silently otherwise — the package is pure-Python
+plus an optional accelerator, never a required extension (runtime falls
+back to build-on-first-use, and failing that to the Python kernel).
 """
 from setuptools import setup
+from setuptools.command.build_py import build_py
 
-setup()
+
+class _BuildWithNative(build_py):
+    """Best-effort native-kernel build during install (never fatal)."""
+
+    def run(self):
+        super().run()
+        try:
+            import sys
+            sys.path.insert(0, "src")
+            from repro.core._native import build as native_build
+            native_build.ensure_built()
+        except Exception as exc:  # noqa: BLE001 — optional accelerator
+            print(f"note: native Rubik kernel not prebuilt ({exc}); "
+                  "it will be built on first use or fall back to Python")
+
+
+setup(cmdclass={"build_py": _BuildWithNative})

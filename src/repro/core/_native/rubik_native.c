@@ -1,0 +1,861 @@
+/* Native Rubik decision fold + event-step kernel (perf layer 7).
+ *
+ * One translation unit, no libm, no Python headers: the library is
+ * loaded through ctypes and driven by src/repro/core/_native/kernel.py
+ * (per-event decide) and session.py (whole-run span loop).  Every
+ * floating-point expression mirrors the Python implementation in
+ * repro/core/decision_kernel.py, repro/sim/dvfs.py and repro/sim/core.py
+ * operation-for-operation: compiled for baseline x86-64/AArch64 with
+ * -ffp-contract=off, each individual IEEE-754 double add/sub/mul/div
+ * rounds exactly like the CPython float op, so the emitted decisions,
+ * segment boundaries and completion times are bitwise-identical to the
+ * Python paths (the scalar oracle remains the pin; see
+ * tests/core/test_decision_kernel.py and test_native_kernel.py).
+ *
+ * The struct layout below is mirrored field-for-field by
+ * kernel.RKState (ctypes.Structure).  Every field is 8 bytes wide
+ * (double / int64 / pointer), so there is no padding to disagree on;
+ * rk_state_size() lets the wrapper assert the mirror never drifts.
+ */
+
+#include <stdint.h>
+
+typedef int64_t i64;
+
+/* Return codes of rk_decide_entry / rk_span. */
+#define RK_OK 0
+#define RK_DONE 0
+#define RK_NEED_ROWS 1    /* fill need_row_c/need_row_m rows, re-enter */
+#define RK_SURFACE 2      /* flush observations + maybe-refresh, re-enter */
+#define RK_FLUSH_SEGMENTS 3
+#define RK_FLUSH_HISTORY 4
+#define RK_ERROR 5
+
+/* Span-loop phase (resume point after a surfacing return). */
+#define PH_NEXT 0    /* pick + process the next event */
+#define PH_DECIDE 1  /* event processed; the decide is still owed */
+
+/* Segment state codes (repro/power/energy.py). */
+#define SEG_BUSY 0.0
+#define SEG_IDLE 2.0
+
+#define RK_INF (__builtin_inf())
+
+typedef struct {
+    /* -- grid / config (constant for the kernel's lifetime) ---------- */
+    double *grid;        /* [nsteps] ascending DVFS frequencies */
+    double *inv_grid;    /* [nsteps] 1.0 / grid[i] (Python-computed) */
+    i64 nsteps;
+    i64 nominal_idx;
+    double min_hz;
+    double max_hz;
+    double trans_latency;
+    i64 cert_min_queue;
+
+    /* -- evaluation context (synced by the wrapper) ------------------ */
+    i64 tables_ready;    /* controller.tables is not None */
+    i64 tables_gen;      /* bumped whenever the table pair object changes */
+    double target;       /* trimmer internal target (or latency bound) */
+    double *cbounds;     /* [nrows] cycles-table row lower bounds */
+    double *mbounds;     /* [nrows] memory-table row lower bounds */
+    i64 nrows;
+    double *rows_c;      /* [nrows * row_cap] flattened cycles row lists */
+    double *rows_m;      /* [nrows * row_cap] flattened memory row lists */
+    i64 *rowlen_c;       /* [nrows] filled prefix per cycles row */
+    i64 *rowlen_m;       /* [nrows] filled prefix per memory row */
+    i64 row_cap;
+
+    /* -- queue mirror: arrival times of current + queued, oldest first */
+    double *arr_ring;    /* [arr_mask + 1] */
+    i64 arr_mask;        /* capacity - 1 (capacity is a power of two) */
+    i64 arr_head;
+    i64 arr_len;
+    i64 queue_epoch;     /* mirrors Core.queue_epoch */
+
+    /* -- kernel incremental state (DecisionKernel slots) ------------- */
+    i64 certs;
+    i64 k_tables_gen;    /* _tables identity of the cached row pair */
+    i64 k_row_c;
+    i64 k_row_m;
+    double k_target;
+    i64 mono_ok;
+    i64 mono_len;
+    i64 k_epoch;
+    i64 k_n;
+    i64 k_fidx;
+    i64 k_witness;
+    i64 k_any_h;
+    double tau_abs;
+    double sigma_abs;
+
+    /* -- decide I/O -------------------------------------------------- */
+    double elapsed_c;    /* per-event mode: set by the wrapper */
+    double elapsed_m;
+    double decided_hz;   /* out: the Eq. 2 frequency request */
+    i64 need_row_c;      /* out on RK_NEED_ROWS */
+    i64 need_row_m;
+    i64 need_len;
+
+    /* -- KernelStats branch counters --------------------------------- */
+    i64 st_idle;
+    i64 st_warmup;
+    i64 st_fast_arr;
+    i64 st_fast_comp;
+    i64 st_lean;
+    i64 st_cert;
+    i64 st_inv_tables;
+    i64 st_inv_target;
+    i64 st_inv_row;
+    i64 st_inv_epoch;
+
+    /* ================= span-mode state ============================== */
+    i64 span_mode;
+    i64 phase;           /* PH_NEXT / PH_DECIDE */
+    double now;
+    i64 events;          /* arrivals + completions processed */
+
+    /* trace columns + per-request outputs (wrapper-owned arrays) */
+    double *tr_arrival;  /* [n_req] */
+    double *tr_cycles;
+    double *tr_memory;
+    double *out_start;   /* [n_req] service start times */
+    double *out_finish;  /* [n_req] completion times */
+    double *decision_log;/* [2 * n_req] requested hz, one per decide */
+    i64 n_req;
+    i64 next_arrival;    /* index of the next unadmitted trace request */
+    i64 decision_count;
+
+    /* FIFO of waiting request ids (in-service excluded) */
+    i64 *rid_ring;       /* [rq_mask + 1] */
+    i64 rq_mask;
+    i64 rq_head;
+    i64 rq_len;
+
+    /* in-service request */
+    i64 has_current;
+    i64 cur_rid;
+    double cur_C;        /* compute_cycles */
+    double cur_M;        /* memory_time_s */
+    double cur_progress;
+
+    /* pending completion event */
+    i64 completion_valid;
+    double completion_time;
+
+    /* DVFS domain (repro/sim/dvfs.py state machine) */
+    double cur_hz;
+    i64 pending_valid;
+    double pending_target;
+    double pending_apply_at;
+    i64 latched_valid;
+    double latched_target;
+    i64 transitions;
+    i64 record_history;
+    double *hist_buf;    /* [2 * hist_cap] (time, freq) pairs */
+    i64 hist_cap;
+    i64 hist_count;
+    double unacct[8];    /* <=4 applied-but-unconsumed (time, freq) pairs */
+    i64 unacct_n;
+
+    /* segment accounting (5 doubles per closed segment) */
+    double *seg_buf;     /* [5 * seg_cap] start,end,code,freq,mem_frac */
+    i64 seg_cap;
+    i64 seg_count;
+    double seg_start;    /* open segment */
+    double seg_code;
+    double seg_freq;
+    double seg_mem_frac;
+
+    /* listener-phase bookkeeping (refresh / trimmer surfacing) */
+    i64 completed;             /* completions this span (== flush cursor) */
+    i64 observed_total;        /* profiler.total_observed mirror */
+    i64 profiler_min_samples;
+    double refresh_period;
+    double last_table_update;
+    i64 samples_at_last_update;
+    i64 trimmer_on;
+    double trimmer_period;
+    double trimmer_last_adjust;
+} rk_state;
+
+i64 rk_state_size(void) { return (i64)sizeof(rk_state); }
+
+i64 rk_abi_version(void) { return 1; }
+
+/* ------------------------------------------------------------------ */
+/* bisect re-implementations (exact Python semantics on doubles)      */
+/* ------------------------------------------------------------------ */
+static i64 rk_bisect_left(const double *a, i64 n, double x) {
+    i64 lo = 0, hi = n;
+    while (lo < hi) {
+        i64 mid = (lo + hi) >> 1;
+        if (a[mid] < x) lo = mid + 1; else hi = mid;
+    }
+    return lo;
+}
+
+static i64 rk_bisect_right(const double *a, i64 n, double x) {
+    i64 lo = 0, hi = n;
+    while (lo < hi) {
+        i64 mid = (lo + hi) >> 1;
+        if (x < a[mid]) hi = mid; else lo = mid + 1;
+    }
+    return lo;
+}
+
+/* ------------------------------------------------------------------ */
+/* queue rings                                                        */
+/* ------------------------------------------------------------------ */
+static double ring_get(const rk_state *s, i64 i) {
+    return s->arr_ring[(s->arr_head + i) & s->arr_mask];
+}
+
+static void ring_push(rk_state *s, double t) {
+    s->arr_ring[(s->arr_head + s->arr_len) & s->arr_mask] = t;
+    s->arr_len++;
+}
+
+static void ring_pop(rk_state *s) {
+    s->arr_head = (s->arr_head + 1) & s->arr_mask;
+    s->arr_len--;
+}
+
+static void rq_push(rk_state *s, i64 rid) {
+    s->rid_ring[(s->rq_head + s->rq_len) & s->rq_mask] = rid;
+    s->rq_len++;
+}
+
+static i64 rq_pop(rk_state *s) {
+    i64 rid = s->rid_ring[s->rq_head];
+    s->rq_head = (s->rq_head + 1) & s->rq_mask;
+    s->rq_len--;
+    return rid;
+}
+
+/* ------------------------------------------------------------------ */
+/* segment accounting + DVFS state machine (span mode)                */
+/* ------------------------------------------------------------------ */
+static void seg_append(rk_state *s, double start, double end,
+                       double code, double freq, double mem_frac) {
+    double *row = s->seg_buf + 5 * s->seg_count;
+    row[0] = start;
+    row[1] = end;
+    row[2] = code;
+    row[3] = freq;
+    row[4] = mem_frac;
+    s->seg_count++;
+}
+
+/* Request.advance(duration, freq) */
+static void advance_current(rk_state *s, double duration, double freq) {
+    double total = s->cur_C / freq + s->cur_M;
+    if (total <= 0.0) { s->cur_progress = 1.0; return; }
+    double p = s->cur_progress + duration / total;
+    s->cur_progress = p > 1.0 ? 1.0 : p;
+}
+
+/* DvfsDomain._apply */
+static void dvfs_apply(rk_state *s, double target, double at) {
+    if (target == s->cur_hz) return;
+    s->cur_hz = target;
+    s->transitions++;
+    if (s->record_history && s->hist_count < s->hist_cap) {
+        s->hist_buf[2 * s->hist_count] = at;
+        s->hist_buf[2 * s->hist_count + 1] = target;
+        s->hist_count++;
+    }
+    if (s->unacct_n < 4) {
+        s->unacct[2 * s->unacct_n] = at;
+        s->unacct[2 * s->unacct_n + 1] = target;
+        s->unacct_n++;
+    }
+}
+
+/* DvfsDomain._sync */
+static void dvfs_sync(rk_state *s) {
+    while (s->pending_valid && s->now >= s->pending_apply_at) {
+        double target = s->pending_target;
+        double applied_at = s->pending_apply_at;
+        s->pending_valid = 0;
+        dvfs_apply(s, target, applied_at);
+        if (s->latched_valid) {
+            double nxt = s->latched_target;
+            s->latched_valid = 0;
+            if (nxt != s->cur_hz) {
+                s->pending_valid = 1;
+                s->pending_target = nxt;
+                s->pending_apply_at = applied_at + s->trans_latency;
+            }
+        }
+    }
+}
+
+/* Core._consume_boundary */
+static void consume_boundary(rk_state *s, double at, double newf) {
+    double duration = at - s->seg_start;
+    if (duration > 0.0) {
+        seg_append(s, s->seg_start, at, s->seg_code, s->seg_freq,
+                   s->seg_mem_frac);
+        if (s->seg_code == SEG_BUSY && s->has_current)
+            advance_current(s, duration, s->seg_freq);
+    }
+    s->seg_start = at;
+    s->seg_freq = newf;
+    if (s->seg_code == SEG_BUSY) {
+        double total = s->cur_C / newf + s->cur_M;
+        s->seg_mem_frac = total > 0.0 ? s->cur_M / total : 0.0;
+    } else {
+        s->seg_mem_frac = 0.0;
+    }
+}
+
+/* Core._sync_accounting */
+static void sync_accounting(rk_state *s) {
+    if (s->pending_valid && s->now >= s->pending_apply_at)
+        dvfs_sync(s);
+    for (i64 i = 0; i < s->unacct_n; i++)
+        consume_boundary(s, s->unacct[2 * i], s->unacct[2 * i + 1]);
+    s->unacct_n = 0;
+}
+
+/* Core._close_segment (the buffer-flush threshold is enforced by the
+ * span loop's per-event headroom check instead). */
+static void close_segment(rk_state *s) {
+    if (s->unacct_n || (s->pending_valid && s->now >= s->pending_apply_at))
+        sync_accounting(s);
+    double duration = s->now - s->seg_start;
+    if (duration > 0.0) {
+        seg_append(s, s->seg_start, s->now, s->seg_code, s->seg_freq,
+                   s->seg_mem_frac);
+        if (s->seg_code == SEG_BUSY && s->has_current)
+            advance_current(s, duration, s->seg_freq);
+    }
+    s->seg_start = s->now;
+}
+
+/* Core._open_segment (callers synced at this timestamp already) */
+static void open_segment(rk_state *s) {
+    s->seg_start = s->now;
+    double freq = s->cur_hz;
+    if (s->has_current) {
+        s->seg_code = SEG_BUSY;
+        double total = s->cur_C / freq + s->cur_M;
+        s->seg_mem_frac = total > 0.0 ? s->cur_M / total : 0.0;
+    } else {
+        s->seg_code = SEG_IDLE;
+        s->seg_mem_frac = 0.0;
+    }
+    s->seg_freq = freq;
+}
+
+/* Core._schedule_completion: walk the (<=2-entry) transition plan. */
+static void schedule_completion(rk_state *s) {
+    double progress = s->cur_progress;
+    double prev = s->seg_start;
+    double total = s->cur_C / s->cur_hz + s->cur_M;
+    double finish = prev + (1.0 - progress) * total;
+    if (s->pending_valid) {
+        double apply_at = s->pending_apply_at;
+        if (finish >= apply_at) {
+            double p = progress + (apply_at - prev) / total;
+            progress = p > 1.0 ? 1.0 : p;
+            total = s->cur_C / s->pending_target + s->cur_M;
+            finish = apply_at + (1.0 - progress) * total;
+            if (s->latched_valid && s->latched_target != s->pending_target) {
+                double chained_at = apply_at + s->trans_latency;
+                if (finish >= chained_at) {
+                    p = progress + (chained_at - apply_at) / total;
+                    progress = p > 1.0 ? 1.0 : p;
+                    total = s->cur_C / s->latched_target + s->cur_M;
+                    finish = chained_at + (1.0 - progress) * total;
+                }
+            }
+        }
+    }
+    /* Simulator.schedule_entry clamps to the current clock. */
+    s->completion_time = finish > s->now ? finish : s->now;
+    s->completion_valid = 1;
+}
+
+/* DvfsDomain.request + Core._on_retarget (grid membership is
+ * guaranteed: every requested value is grid[idx]). */
+static void dvfs_request(rk_state *s, double target) {
+    if (!s->pending_valid) {
+        if (target == s->cur_hz) return;
+    } else {
+        dvfs_sync(s);
+    }
+    double eff = s->latched_valid ? s->latched_target
+               : (s->pending_valid ? s->pending_target : s->cur_hz);
+    if (target == eff) return;
+    if (s->pending_valid) {
+        s->latched_valid = 1;
+        s->latched_target = target;
+    } else if (s->trans_latency <= 0.0) {
+        dvfs_apply(s, target, s->now);
+    } else {
+        s->pending_valid = 1;
+        s->pending_target = target;
+        s->pending_apply_at = s->now + s->trans_latency;
+    }
+    /* on_retarget */
+    if (s->unacct_n || (s->pending_valid && s->now >= s->pending_apply_at))
+        sync_accounting(s);
+    if (s->has_current)
+        schedule_completion(s);
+}
+
+/* Core.current_request_elapsed */
+static void compute_elapsed(rk_state *s, double *ec, double *em) {
+    if (!s->has_current) { *ec = 0.0; *em = 0.0; return; }
+    if (s->unacct_n || (s->pending_valid && s->now >= s->pending_apply_at))
+        sync_accounting(s);
+    double progress = s->cur_progress;
+    if (s->seg_code == SEG_BUSY) {
+        double total = s->cur_C / s->seg_freq + s->cur_M;
+        if (total > 0.0) {
+            double extra = (s->now - s->seg_start) / total;
+            double p = progress + extra;
+            progress = p > 1.0 ? 1.0 : p;
+        }
+    }
+    *ec = progress * s->cur_C;
+    *em = progress * s->cur_M;
+}
+
+/* ------------------------------------------------------------------ */
+/* decision kernel (DecisionKernel ported verbatim)                   */
+/* ------------------------------------------------------------------ */
+static i64 ensure_mono(rk_state *s, i64 upto) {
+    if (!s->mono_ok) return 0;
+    i64 k = s->mono_len;
+    if (k >= upto) return 1;
+    const double *crow = s->rows_c + s->k_row_c * s->row_cap;
+    const double *mrow = s->rows_m + s->k_row_m * s->row_cap;
+    i64 len_c = s->rowlen_c[s->k_row_c];
+    i64 len_m = s->rowlen_m[s->k_row_m];
+    if (len_c < upto) upto = len_c;
+    if (len_m < upto) upto = len_m;
+    for (i64 j = (k > 1 ? k : 1); j < upto; j++) {
+        if (crow[j] < crow[j - 1] || mrow[j] < mrow[j - 1]) {
+            s->mono_ok = 0;
+            return 0;
+        }
+    }
+    s->mono_len = upto;
+    return 1;
+}
+
+static i64 arrival_fast(rk_state *s, i64 n, double now, double target) {
+    i64 fidx = s->k_fidx;
+    const double *grid = s->grid;
+    i64 last = s->nsteps - 1;
+    i64 any_h = s->k_any_h;
+    if (fidx < last && now > s->tau_abs)
+        return 0;
+    if (!any_h && fidx < s->nominal_idx && now > s->sigma_abs)
+        return 0;
+    i64 witness = s->k_witness;
+    i64 floored = any_h && fidx == s->nominal_idx;
+    const double *mrow = s->rows_m + s->k_row_m * s->row_cap;
+    const double *crow = s->rows_c + s->k_row_c * s->row_cap;
+    if (fidx > 0 && !floored) {
+        if (witness < 0)
+            return 0;
+        if ((target - (now - ring_get(s, witness))) - mrow[witness] <= 0.0)
+            return 0;
+    }
+    if (fidx == last) {
+        s->decided_hz = grid[last];
+        s->st_fast_arr++;
+        return 1;
+    }
+    i64 n_idx = n - 1;  /* rows cover n: decide pre-checked */
+    double c_i = crow[n_idx];
+    double slack = (target - (now - ring_get(s, n - 1))) - mrow[n_idx];
+    if (slack <= 0.0) {
+        any_h = 1;
+    } else {
+        double guard = 1e-9 + 1e-12 * now;
+        double sig = now + slack - guard;
+        if (sig < s->sigma_abs) s->sigma_abs = sig;
+        double p = grid[fidx] * slack;
+        if (c_i <= p) {
+            double tau = now + (p - c_i) * s->inv_grid[fidx] - guard;
+            if (tau < s->tau_abs) s->tau_abs = tau;
+        } else {
+            i64 idx = rk_bisect_left(grid, s->nsteps, c_i / slack - 1e-9);
+            fidx = idx < last ? idx : last;
+            witness = n_idx;
+            if (fidx < last) {
+                p = grid[fidx] * slack;
+                double tau = now + (p - c_i) * s->inv_grid[fidx] - guard;
+                if (tau < s->tau_abs) s->tau_abs = tau;
+            }
+        }
+    }
+    if (any_h && fidx < s->nominal_idx) {
+        fidx = s->nominal_idx;
+        witness = -1;
+    }
+    s->k_fidx = fidx;
+    s->k_witness = witness;
+    s->k_any_h = any_h;
+    s->decided_hz = grid[fidx];
+    s->st_fast_arr++;
+    return 1;
+}
+
+static i64 completion_fast(rk_state *s, i64 n, double now, double target) {
+    (void)n;  /* the shifted length is validated by the caller's epoch */
+    if (s->k_any_h)
+        return 0;
+    i64 fidx = s->k_fidx;
+    const double *grid = s->grid;
+    i64 last = s->nsteps - 1;
+    if (fidx == 0) {
+        if (now > s->tau_abs || now > s->sigma_abs)
+            return 0;
+        if (!ensure_mono(s, s->k_n))
+            return 0;
+        s->decided_hz = grid[0];
+        s->k_witness = -1;
+        s->st_fast_comp++;
+        return 1;
+    }
+    i64 b = s->k_witness - 1;
+    if (b < 0)
+        return 0;
+    if (fidx < last) {
+        if (now > s->tau_abs)
+            return 0;
+        if (fidx < s->nominal_idx && now > s->sigma_abs)
+            return 0;
+        if (!ensure_mono(s, s->k_n))
+            return 0;
+    }
+    const double *mrow = s->rows_m + s->k_row_m * s->row_cap;
+    const double *crow = s->rows_c + s->k_row_c * s->row_cap;
+    double slack = (target - (now - ring_get(s, b))) - mrow[b];
+    if (slack <= 0.0)
+        return 0;
+    i64 idx = rk_bisect_left(grid, s->nsteps, crow[b] / slack - 1e-9);
+    if ((idx < last ? idx : last) != fidx)
+        return 0;
+    s->decided_hz = grid[fidx];
+    s->k_witness = b;
+    s->st_fast_comp++;
+    return 1;
+}
+
+static void full_fold(rk_state *s, i64 n, double now, double target,
+                      i64 row_c, i64 row_m, i64 epoch) {
+    /* Rows cover n (decide pre-checked), so the fold cannot surface:
+     * the counter increments exactly once per completed fold. */
+    s->st_cert++;
+    if (row_c != s->k_row_c || row_m != s->k_row_m
+            || s->tables_gen != s->k_tables_gen) {
+        s->mono_ok = 1;
+        s->mono_len = 0;
+        s->k_row_c = row_c;
+        s->k_row_m = row_m;
+        s->k_tables_gen = s->tables_gen;
+    }
+    const double *crow = s->rows_c + row_c * s->row_cap;
+    const double *mrow = s->rows_m + row_m * s->row_cap;
+    const double *grid = s->grid;
+    const double *inv_grid = s->inv_grid;
+    i64 last = s->nsteps - 1;
+    i64 fidx = 0;
+    double f = grid[0];
+    i64 any_h = 0;
+    i64 witness = -1;
+    double inv_f = inv_grid[0];
+    double guard = 1e-9 + 1e-12 * now;
+    double tau_abs = RK_INF;
+    double sigma_abs = RK_INF;
+    for (i64 i = 0; i < n; i++) {
+        double c_i = crow[i];
+        double m_i = mrow[i];
+        double slack = (target - (now - ring_get(s, i))) - m_i;
+        if (slack <= 0.0) {
+            any_h = 1;
+            continue;
+        }
+        double sig = now + slack - guard;
+        if (sig < sigma_abs) sigma_abs = sig;
+        double p = f * slack;
+        if (c_i <= p) {
+            double tau = now + (p - c_i) * inv_f - guard;
+            if (tau < tau_abs) tau_abs = tau;
+            continue;
+        }
+        i64 idx = rk_bisect_left(grid, s->nsteps, c_i / slack - 1e-9);
+        witness = i;
+        if (idx >= last) {
+            fidx = last;
+            tau_abs = RK_INF;
+            sigma_abs = RK_INF;
+            break;
+        }
+        fidx = idx;
+        f = grid[fidx];
+        inv_f = inv_grid[fidx];
+        double tau = now + (f * slack - c_i) * inv_f - guard;
+        if (tau < tau_abs) tau_abs = tau;
+    }
+    if (fidx < last && any_h && fidx < s->nominal_idx) {
+        fidx = s->nominal_idx;
+        witness = -1;
+    }
+    s->tau_abs = tau_abs;
+    s->sigma_abs = sigma_abs;
+    s->certs = 1;
+    s->k_target = target;
+    s->k_epoch = epoch;
+    s->k_n = n;
+    s->k_fidx = fidx;
+    s->k_witness = witness;
+    s->k_any_h = any_h;
+    s->decided_hz = grid[fidx];
+}
+
+/* DecisionKernel.decide.  Restartable: RK_NEED_ROWS is returned before
+ * any state (counters included) is mutated, so the wrapper fills the
+ * requested rows and simply calls again. */
+static i64 rk_decide(rk_state *s) {
+    i64 n = s->arr_len;
+    if (n == 0) {
+        s->decided_hz = s->min_hz;
+        s->st_idle++;
+        s->certs = 0;
+        return RK_OK;
+    }
+    if (!s->tables_ready) {
+        s->decided_hz = s->max_hz;
+        s->st_warmup++;
+        s->certs = 0;
+        return RK_OK;
+    }
+    double target = s->target;
+    double now = s->now;
+    double elapsed_c, elapsed_m;
+    if (s->span_mode) {
+        compute_elapsed(s, &elapsed_c, &elapsed_m);
+    } else {
+        elapsed_c = s->elapsed_c;
+        elapsed_m = s->elapsed_m;
+    }
+    i64 row_c = rk_bisect_right(s->cbounds, s->nrows, elapsed_c) - 1;
+    i64 row_m = rk_bisect_right(s->mbounds, s->nrows, elapsed_m) - 1;
+    /* Row availability, checked up front so every later branch (lean
+     * fold, arrival extension, full fold) can run to completion. */
+    if (s->rowlen_c[row_c] < n || s->rowlen_m[row_m] < n) {
+        s->need_row_c = row_c;
+        s->need_row_m = row_m;
+        s->need_len = n;
+        return RK_NEED_ROWS;
+    }
+    const double *grid = s->grid;
+    i64 last = s->nsteps - 1;
+
+    if (n < s->cert_min_queue) {
+        /* Lean fold.  The cached-pair bookkeeping mirrors the Python
+         * refetch: the row lists are append-only, so the mono prefix
+         * resets only when the pair (row indices or table identity)
+         * actually changed. */
+        if (row_c != s->k_row_c || row_m != s->k_row_m
+                || s->tables_gen != s->k_tables_gen) {
+            s->mono_ok = 1;
+            s->mono_len = 0;
+            s->k_row_c = row_c;
+            s->k_row_m = row_m;
+            s->k_tables_gen = s->tables_gen;
+        }
+        const double *crow = s->rows_c + row_c * s->row_cap;
+        const double *mrow = s->rows_m + row_m * s->row_cap;
+        s->certs = 0;
+        s->st_lean++;
+        if (n == 1) {
+            double slack = (target - (now - ring_get(s, 0))) - mrow[0];
+            i64 idx;
+            if (slack <= 0.0) {
+                idx = s->nominal_idx;
+            } else {
+                idx = rk_bisect_left(grid, s->nsteps,
+                                     crow[0] / slack - 1e-9);
+                if (idx > last) idx = last;
+            }
+            s->decided_hz = grid[idx];
+            return RK_OK;
+        }
+        i64 fidx = 0;
+        double f = grid[0];
+        i64 any_h = 0;
+        for (i64 i = 0; i < n; i++) {
+            double slack = (target - (now - ring_get(s, i))) - mrow[i];
+            if (slack <= 0.0) {
+                any_h = 1;
+            } else if (crow[i] > f * slack) {
+                i64 idx = rk_bisect_left(grid, s->nsteps,
+                                         crow[i] / slack - 1e-9);
+                if (idx >= last) {
+                    fidx = last;
+                    break;
+                }
+                fidx = idx;
+                f = grid[fidx];
+            }
+        }
+        if (fidx < last && any_h && fidx < s->nominal_idx)
+            fidx = s->nominal_idx;
+        s->decided_hz = grid[fidx];
+        return RK_OK;
+    }
+
+    i64 epoch = s->queue_epoch;
+    if (s->certs && epoch == s->k_epoch + 1) {
+        if (s->tables_gen != s->k_tables_gen) {
+            s->st_inv_tables++;
+        } else if (target != s->k_target) {
+            s->st_inv_target++;
+        } else if (row_c != s->k_row_c || row_m != s->k_row_m) {
+            s->st_inv_row++;
+        } else if (n == s->k_n + 1) {
+            if (arrival_fast(s, n, now, target)) {
+                s->k_epoch = epoch;
+                s->k_n = n;
+                return RK_OK;
+            }
+        } else if (n == s->k_n - 1) {
+            if (completion_fast(s, n, now, target)) {
+                s->k_epoch = epoch;
+                s->k_n = n;
+                return RK_OK;
+            }
+        }
+    } else if (s->certs) {
+        s->st_inv_epoch++;
+    }
+    full_fold(s, n, now, target, row_c, row_m, epoch);
+    return RK_OK;
+}
+
+/* Per-event entry point (listener-driven mode). */
+i64 rk_decide_entry(rk_state *s) { return rk_decide(s); }
+
+/* ------------------------------------------------------------------ */
+/* span event loop (run_trace inner loop)                             */
+/* ------------------------------------------------------------------ */
+
+/* Would the controller's _maybe_refresh_tables do any work right now?
+ * Mirrors its three guards exactly (ready <=> total >= min_samples,
+ * since min_samples <= window). */
+static i64 refresh_due(const rk_state *s) {
+    if (s->now - s->last_table_update < s->refresh_period) return 0;
+    if (s->observed_total < s->profiler_min_samples) return 0;
+    if (s->observed_total == s->samples_at_last_update) return 0;
+    return 1;
+}
+
+/* Core._begin_service */
+static void begin_service(rk_state *s, i64 rid) {
+    close_segment(s);
+    s->has_current = 1;
+    s->cur_rid = rid;
+    s->cur_C = s->tr_cycles[rid];
+    s->cur_M = s->tr_memory[rid];
+    s->cur_progress = 0.0;
+    s->out_start[rid] = s->now;
+    schedule_completion(s);
+    open_segment(s);
+}
+
+/* Process one arrival; returns nonzero when the listener phase must
+ * surface to Python (a refresh could fire before the decide). */
+static i64 process_arrival(rk_state *s) {
+    i64 rid = s->next_arrival++;
+    s->now = s->tr_arrival[rid];
+    s->events++;
+    ring_push(s, s->now);
+    s->queue_epoch++;
+    if (!s->has_current)
+        begin_service(s, rid);
+    else
+        rq_push(s, rid);
+    return refresh_due(s);
+}
+
+/* Process one completion; surfaces when a refresh or a trimmer adjust
+ * could fire before the decide (profiler/trimmer observes are buffered
+ * and replayed by the wrapper at surfacings — invisible otherwise,
+ * since that state is only ever read at refresh/adjust points). */
+static i64 process_completion(rk_state *s) {
+    s->now = s->completion_time;
+    s->events++;
+    s->completion_valid = 0;
+    close_segment(s);
+    i64 rid = s->cur_rid;
+    s->out_finish[rid] = s->now;
+    ring_pop(s);
+    s->queue_epoch++;
+    s->has_current = 0;
+    if (s->rq_len > 0)
+        begin_service(s, rq_pop(s));
+    else
+        open_segment(s);
+    s->completed++;
+    s->observed_total++;
+    i64 surface = refresh_due(s);
+    if (s->trimmer_on
+            && s->now - s->trimmer_last_adjust >= s->trimmer_period)
+        surface = 1;
+    return surface;
+}
+
+/* Drive events until done, returning to Python only for NEED_ROWS,
+ * surfacings, or a full segment/history buffer.  Re-enter after
+ * servicing; `phase` records whether the current event still owes its
+ * frequency decision. */
+i64 rk_span(rk_state *s) {
+    if (!s->span_mode)
+        return RK_ERROR;
+    for (;;) {
+        if (s->phase == PH_DECIDE) {
+            i64 rc = rk_decide(s);
+            if (rc != RK_OK)
+                return rc;
+            if (s->decision_count < 2 * s->n_req)
+                s->decision_log[s->decision_count] = s->decided_hz;
+            s->decision_count++;
+            dvfs_request(s, s->decided_hz);
+            s->phase = PH_NEXT;
+        }
+        /* Buffer headroom: one event closes at most a handful of
+         * segments (close + <=4 transition boundaries, twice). */
+        if (s->seg_count + 16 > s->seg_cap)
+            return RK_FLUSH_SEGMENTS;
+        if (s->record_history && s->hist_count + 4 > s->hist_cap)
+            return RK_FLUSH_HISTORY;
+        i64 have_arrival = s->next_arrival < s->n_req;
+        if (s->completion_valid) {
+            /* COMPLETION_PRIORITY=0 beats ARRIVAL_PRIORITY=1 on ties. */
+            if (have_arrival
+                    && s->tr_arrival[s->next_arrival] < s->completion_time) {
+                s->phase = PH_DECIDE;
+                if (process_arrival(s))
+                    return RK_SURFACE;
+            } else {
+                s->phase = PH_DECIDE;
+                if (process_completion(s))
+                    return RK_SURFACE;
+            }
+        } else if (have_arrival) {
+            s->phase = PH_DECIDE;
+            if (process_arrival(s))
+                return RK_SURFACE;
+        } else {
+            return RK_DONE;
+        }
+    }
+}

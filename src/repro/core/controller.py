@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core._native import build as native_build
 from repro.core.decision_kernel import DecisionKernel, KernelStats
 from repro.core.feedback import LatencyTargetTrimmer
 from repro.core.profiler import DemandProfiler
@@ -49,6 +50,14 @@ from repro.sim.request import Request
 DEFAULT_UPDATE_PERIOD_S = 0.1
 
 
+def _validate_kernel_mode(value: object) -> None:
+    """``kernel=`` accepts exactly True, False, ``"auto"``, ``"native"``."""
+    if value is True or value is False or value in ("auto", "native"):
+        return
+    raise ValueError(
+        f"kernel must be True, False, 'auto', or 'native' (got {value!r})")
+
+
 class Rubik(Scheme):
     """Fine-grain analytical DVFS for latency-critical workloads."""
 
@@ -61,7 +70,7 @@ class Rubik(Scheme):
         num_rows: int = DEFAULT_NUM_ROWS,
         max_explicit: int = DEFAULT_MAX_EXPLICIT,
         vectorized: bool = True,
-        kernel: bool = True,
+        kernel: object = "auto",
     ) -> None:
         """Args:
             update_period_s: target-tail-table refresh period.
@@ -77,15 +86,31 @@ class Rubik(Scheme):
                 whole queue. The scalar per-request loop is kept
                 selectable (``vectorized=False``) so equivalence tests
                 can pin every path to identical decisions.
-            kernel: dispatch to the incremental decision kernel
-                (:mod:`repro.core.decision_kernel`), which keeps
-                per-queue state between events and re-folds only the
-                delta (default). Decision-equivalent to the other two
-                paths; requires ``vectorized`` (the scalar oracle always
-                wins when ``vectorized=False``).
+            kernel: which incremental decision kernel to dispatch to.
+                Tri-state:
+
+                * ``"auto"`` (default) — the native C kernel
+                  (:mod:`repro.core._native`) when its library builds
+                  and loads, else the Python kernel
+                  (:mod:`repro.core.decision_kernel`).
+                * ``"native"`` — require the native kernel; if it is
+                  unavailable the loader warns once and the Python
+                  kernel serves (never an error — a box without ``cc``
+                  still runs everything).
+                * ``True`` — always the Python kernel.
+                * ``False`` — no kernel: the plain vectorized path.
+
+                All four resolutions are decision-equivalent, pinned
+                bitwise to the scalar oracle by the 4-path suite in
+                ``tests/core/test_decision_kernel.py``; requires
+                ``vectorized`` (the scalar oracle always wins when
+                ``vectorized=False``). The ``REPRO_NATIVE`` environment
+                variable (``1``/``0``/``auto``) gates the native build
+                process-wide.
         """
         if update_period_s <= 0:
             raise ValueError("update period must be positive")
+        _validate_kernel_mode(kernel)
         self.update_period_s = update_period_s
         self.feedback_enabled = feedback
         self.profiler = DemandProfiler(profiler_window, min_samples)
@@ -107,14 +132,30 @@ class Rubik(Scheme):
         # `vectorized`/`kernel` property setters keep this in sync.
         self._rebind_decide()
 
+    def _resolved_kernel(self) -> object:
+        """The kernel mode after resolving ``"auto"``/``"native"``
+        against native-library availability: ``"native"``, ``True``
+        (Python kernel) or ``False``."""
+        mode = self._kernel_enabled
+        if mode == "auto" or mode == "native":
+            # available() memoizes the build/load attempt and handles
+            # the warn-once fallback notice; REPRO_NATIVE=0 opts out
+            # silently.
+            return "native" if native_build.available() else True
+        return mode
+
     def _rebind_decide(self) -> None:
         """Bind ``_decide`` to the selected Eq. 2 evaluation path."""
-        if self._vectorized and self._kernel_enabled:
-            self._decide = self._update_frequency_kernel
-        elif self._vectorized:
-            self._decide = self._update_frequency_vectorized
-        else:
+        if not self._vectorized:
             self._decide = self._update_frequency_scalar
+            return
+        mode = self._resolved_kernel()
+        if mode == "native":
+            self._decide = self._update_frequency_native
+        elif mode:
+            self._decide = self._update_frequency_kernel
+        else:
+            self._decide = self._update_frequency_vectorized
 
     @property
     def name(self) -> str:  # type: ignore[override]
@@ -137,12 +178,14 @@ class Rubik(Scheme):
         self._rebind_decide()
 
     @property
-    def kernel(self) -> bool:
-        """Whether the incremental decision kernel is enabled."""
+    def kernel(self) -> object:
+        """The configured kernel mode: ``"auto"``, ``"native"``,
+        ``True`` (Python kernel) or ``False``."""
         return self._kernel_enabled
 
     @kernel.setter
-    def kernel(self, value: bool) -> None:
+    def kernel(self, value: object) -> None:
+        _validate_kernel_mode(value)
         self._kernel_enabled = value
         if self._kernel is not None:
             self._kernel.invalidate()
@@ -151,10 +194,15 @@ class Rubik(Scheme):
     @property
     def decision_path(self) -> str:
         """The Eq. 2 evaluation path currently bound: ``"scalar"``,
-        ``"vectorized"``, or ``"kernel"``."""
+        ``"vectorized"``, ``"kernel"``, or ``"native"`` — the path
+        *actually taken* (``"auto"``/``"native"`` report ``"kernel"``
+        when the native library is unavailable)."""
         if not self._vectorized:
             return "scalar"
-        return "kernel" if self._kernel_enabled else "vectorized"
+        mode = self._resolved_kernel()
+        if mode == "native":
+            return "native"
+        return "kernel" if mode else "vectorized"
 
     @property
     def kernel_stats(self) -> Optional[KernelStats]:
@@ -246,7 +294,7 @@ class Rubik(Scheme):
             stats.object_carries += 1
             kernel = self._kernel
             if kernel is not None:
-                kernel.stats.refresh_carries += 1
+                kernel.note_refresh_carry()
         self.tables = tables
         self._last_table_update = now
         self._samples_at_last_update = self.profiler.total_observed
@@ -257,11 +305,41 @@ class Rubik(Scheme):
         context's DVFS grid, available only after setup) and rebind
         ``_decide`` straight to it — no per-event wrapper hop."""
         kernel = self._kernel
-        if kernel is None:
+        if type(kernel) is not DecisionKernel:
+            # None, or a leftover native kernel from a mid-run toggle
+            # (whose incremental state a fresh fold safely replaces).
             kernel = self._kernel = DecisionKernel(self)
         if self._decide.__func__ is Rubik._update_frequency_kernel:
             self._decide = kernel.decide
         kernel.decide(core)
+
+    def _update_frequency_native(self, core: Core) -> None:
+        """First native dispatch: build the ctypes wrapper and rebind
+        ``_decide`` straight to it (mirrors the Python-kernel hop)."""
+        from repro.core._native.kernel import NativeDecisionKernel
+
+        kernel = self._kernel
+        if not isinstance(kernel, NativeDecisionKernel):
+            kernel = self._kernel = NativeDecisionKernel(self)
+        if self._decide.__func__ is Rubik._update_frequency_native:
+            self._decide = kernel.decide
+        kernel.decide(core)
+
+    def native_session(self, sim: Simulator, core: Core, trace):
+        """Whole-run native event loop (see ``Scheme.native_session``).
+
+        Engages only for a stock ``Rubik`` (subclasses overriding the
+        event hooks or refresh logic keep the Python loop) resolved to
+        the native decision path, on an eligible core/simulator pair —
+        otherwise None, and ``run_trace`` runs the Python event loop.
+        """
+        if type(self) is not Rubik:
+            return None
+        if self._resolved_kernel() != "native" or not self._vectorized:
+            return None
+        from repro.core._native.session import NativeRunSession
+
+        return NativeRunSession.create(sim, core, self, trace)
 
     def _update_frequency_vectorized(self, core: Core) -> None:
         """Eq. 2 over the whole queue in one NumPy expression.

@@ -175,6 +175,13 @@ class DecisionKernel:
         """Drop all incremental state (next decision re-folds fully)."""
         self._certs = False
 
+    def note_refresh_carry(self) -> None:
+        """Count a refresh that re-resolved to the same table pair (the
+        kernel's per-queue state survived it). Part of the kernel
+        interface shared with the native wrapper, where the Python-side
+        counter cannot live on the materialized stats snapshot."""
+        self.stats.refresh_carries += 1
+
     # ------------------------------------------------------------------
     def decide(self, core) -> None:
         """Emit the Eq. 2 frequency request for the current queue."""

@@ -73,6 +73,17 @@ class Scheme(abc.ABC):
         """Frequency to start the run at (defaults to nominal)."""
         return self.context.dvfs.nominal_hz
 
+    def native_session(self, sim: Simulator, core: Core, trace):
+        """Optional whole-run native event loop for this scheme.
+
+        Called by :func:`repro.sim.server.run_trace` after :meth:`setup`;
+        a non-None return value takes over the entire event loop (see
+        :class:`repro.core._native.session.NativeRunSession`). The
+        default — any scheme without a native port — returns None and
+        the Python event loop runs as always.
+        """
+        return None
+
     # Event hooks (CoreListener protocol) -------------------------------
     def on_arrival(self, core: Core, request: Request) -> None:
         """Called after ``request`` was admitted (queued or in service)."""

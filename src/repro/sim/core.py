@@ -137,6 +137,11 @@ class Core:
         #: Closed-but-unintegrated segments:
         #: (start, end, state_code, freq, mem_frac) tuples.
         self._segment_buffer: List[tuple] = []
+        #: Drain hook for segments accumulated outside this core (the
+        #: native span loop buffers its own rows); called by
+        #: :meth:`flush_accounting` *before* the local buffer, since
+        #: external rows are chronologically older.
+        self._external_flush: Optional[Callable[[], None]] = None
         self._segment_start = sim.now
         self._seg_state = self._idle_state()
         self._seg_code = STATE_CODES[self._seg_state]
@@ -238,6 +243,8 @@ class Core:
         the meter's accumulators in strict segment order regardless of
         how many flushes partition the run.
         """
+        if self._external_flush is not None:
+            self._external_flush()
         buf = self._segment_buffer
         if not buf:
             return

@@ -126,6 +126,24 @@ class Simulator:
                 f"cannot advance to {time}: event pending at {nxt}")
         self.now = time
 
+    def absorb_span(self, now: float, events: int) -> None:
+        """Commit a batch of externally-simulated events: advance the
+        clock and account ``events`` without touching the heap.
+
+        Used by the native event-step kernel, which owns every event of
+        an eligible run (see :mod:`repro.core._native.session`) and
+        reports back at surfacing points. Only valid while the heap is
+        empty — the span loop cannot coexist with scheduled events.
+        """
+        self._drop_cancelled()
+        if self._heap:
+            raise ValueError("cannot absorb a span with events pending")
+        if now < self.now:
+            raise ValueError(
+                f"cannot absorb a span ending at {now} before now={self.now}")
+        self.now = now
+        self._events_processed += events
+
     def _drop_cancelled(self) -> None:
         while self._heap and self._heap[0][_CALLBACK] is None:
             heapq.heappop(self._heap)

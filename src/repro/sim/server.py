@@ -127,32 +127,40 @@ def run_trace(
                 record_freq_history=record_freq_history)
     scheme.setup(sim, core, context)
 
-    # Arrivals are fed one at a time (each schedules its successor)
-    # instead of heaping the whole trace upfront: the heap stays 2-3
-    # entries deep, so every push/pop sifts O(1) instead of O(log n).
-    # Order is unchanged — the trace is time-sorted, so chained events
-    # carry increasing sequence numbers exactly like the upfront loop.
-    requests = trace.to_requests()
+    # An eligible run (stock core, native-path Rubik, no extra
+    # instrumentation) hands the whole event loop to the C span kernel;
+    # everything it exports is bitwise-identical to the Python loop.
+    session = scheme.native_session(sim, core, trace)
+    if session is not None:
+        session.run()
+    else:
+        # Arrivals are fed one at a time (each schedules its successor)
+        # instead of heaping the whole trace upfront: the heap stays 2-3
+        # entries deep, so every push/pop sifts O(1) instead of O(log n).
+        # Order is unchanged — the trace is time-sorted, so chained
+        # events carry increasing sequence numbers exactly like the
+        # upfront loop.
+        requests = trace.to_requests()
 
-    def feed(index: int) -> None:
-        req = requests[index]
-        nxt = index + 1
-        if nxt < len(requests):
-            sim.schedule_entry(requests[nxt].arrival_time,
-                               (lambda: feed(nxt)),
+        def feed(index: int) -> None:
+            req = requests[index]
+            nxt = index + 1
+            if nxt < len(requests):
+                sim.schedule_entry(requests[nxt].arrival_time,
+                                   (lambda: feed(nxt)),
+                                   priority=ARRIVAL_PRIORITY)
+            core.enqueue(req)
+
+        if requests:
+            sim.schedule_entry(requests[0].arrival_time, (lambda: feed(0)),
                                priority=ARRIVAL_PRIORITY)
-        core.enqueue(req)
-
-    if requests:
-        sim.schedule_entry(requests[0].arrival_time, (lambda: feed(0)),
-                           priority=ARRIVAL_PRIORITY)
-    sim.run()
+        sim.run()
     # The event loop used to advance through trailing FREQ_CHANGE events;
     # with lazy transitions the fully-drained run settles explicitly.
     core.finalize(settle_dvfs=True)
 
     if warmup is None:
-        warmup = min(200, max(10, len(requests) // 50))
+        warmup = min(200, max(10, len(trace) // 50))
     if warmup >= len(core.completed):
         warmup = max(0, len(core.completed) - 1)
 

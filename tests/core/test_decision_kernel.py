@@ -1,22 +1,32 @@
-"""Decision-oracle suite for the incremental Eq. 2 kernel (PR 5).
+"""Decision-oracle suite for the incremental Eq. 2 kernel (PR 5 + PR 6).
 
-The kernel (``repro/core/decision_kernel.py``) must be *decision-
-equivalent* to the scalar oracle: every ``Core.request_frequency`` call
-— including redundant ones — must carry the identical float, event by
-event, and end-of-run meter totals must match bitwise. The randomized
-sweep below drives the scalar, vectorized, and kernel paths through
+Every decision path must be *decision-equivalent* to the scalar oracle:
+each ``Core.request_frequency`` call — including redundant ones — must
+carry the identical float, event by event, and end-of-run meter totals
+must match bitwise. The randomized sweep below drives the scalar,
+vectorized, kernel, and (when the library builds) native C paths through
 seeded random event sequences covering bursts, profiler-window
 evictions, overload, empty-queue churn, ``n == 1``, and queues past
 ``max_explicit``; dedicated regressions pin the hopeless/overload
 nominal floor, mid-run trimmer-target shrink, and mid-run path toggles.
+
+The native path (``repro/core/_native``) joins the sweep automatically
+when its shared library is available; on boxes without a C compiler the
+sweep degrades to the three Python paths and the ``native``-marked
+canaries report the gap as skips.
 """
 
 import math
 
 import pytest
 
+from repro.core._native import available as native_available
 from repro.core.controller import Rubik
-from repro.core.decision_kernel import CERT_MIN_QUEUE, KernelStats
+from repro.core.decision_kernel import (
+    CERT_MIN_QUEUE,
+    DecisionKernel,
+    KernelStats,
+)
 from repro.core.histogram import Histogram
 from repro.core.tail_tables import TargetTailTables
 from repro.experiments.common import make_context
@@ -29,12 +39,40 @@ from repro.sim.request import Request
 from repro.sim.trace import Trace
 from repro.workloads.apps import APPS, MASSTREE, MOSES, SPECJBB
 
-#: (vectorized, kernel) flags of the three decision paths.
+_NATIVE = native_available()
+skip_without_native = pytest.mark.skipif(
+    not _NATIVE, reason="native Rubik kernel library unavailable")
+
+#: (vectorized, kernel) flags of the decision paths. The native C path
+#: is appended only when its library loads, so the sweep keeps pinning
+#: the three Python paths on compiler-less boxes.
 PATHS = {
     "scalar": dict(vectorized=False, kernel=False),
     "vectorized": dict(vectorized=True, kernel=False),
     "kernel": dict(vectorized=True, kernel=True),
 }
+if _NATIVE:
+    PATHS["native"] = dict(vectorized=True, kernel="native")
+
+#: Parametrize list covering all four paths, with the native entry
+#: visibly skipped (not silently dropped) when the library is missing.
+PATH_PARAMS = [
+    "scalar", "vectorized", "kernel",
+    pytest.param("native",
+                 marks=[pytest.mark.native, skip_without_native]),
+]
+
+
+@pytest.mark.native
+@skip_without_native
+def test_native_path_joins_the_sweep():
+    """Canary: with the library available, every sweep below is 4-path.
+
+    Without it this skips — making the 3-path degradation visible in
+    the test report instead of silently shrinking coverage.
+    """
+    assert "native" in PATHS
+    assert Rubik().decision_path == "native"
 
 
 def run_decisions(trace, rubik, context, at=None):
@@ -73,7 +111,7 @@ def meter_totals(core):
 
 
 def assert_paths_equivalent(trace, context, **rubik_kwargs):
-    """All three paths: identical request sequences + meter totals."""
+    """Every path in PATHS: identical request sequences + meter totals."""
     results = {}
     for name, flags in PATHS.items():
         calls, core, rubik = run_decisions(
@@ -81,16 +119,25 @@ def assert_paths_equivalent(trace, context, **rubik_kwargs):
         results[name] = (calls, meter_totals(core), rubik)
     scalar_calls, scalar_meter, _ = results["scalar"]
     assert scalar_calls, "no decisions recorded"
-    for name in ("vectorized", "kernel"):
+    for name in results:
+        if name == "scalar":
+            continue
         calls, meter, _ = results[name]
         assert calls == scalar_calls, \
             f"{name} diverged from the scalar oracle"
         assert meter == scalar_meter  # bitwise: exact float tuple/dict
+    if "native" in results:
+        # The native kernel mirrors the Python kernel's branch counters
+        # exactly — same decisions, same fast/fold/invalidation split.
+        k_stats = results["kernel"][2].kernel_stats
+        n_stats = results["native"][2].kernel_stats
+        assert n_stats is not None and k_stats is not None
+        assert n_stats.as_dict() == k_stats.as_dict()
     return results
 
 
 class TestRandomizedDecisionOracle:
-    """Seeded random event sequences through all three paths."""
+    """Seeded random event sequences through every decision path."""
 
     @pytest.mark.parametrize("seed", range(6))
     def test_moderate_load(self, seed):
@@ -167,7 +214,7 @@ class TestRandomizedDecisionOracle:
 
 
 class TestHopelessOverloadFloor:
-    """The any_hopeless -> nominal-Hz stability floor, all three paths."""
+    """The any_hopeless -> nominal-Hz stability floor, every path."""
 
     def _hopeless_tables(self):
         # Memory tail far above any achievable bound: every request is
@@ -176,7 +223,7 @@ class TestHopelessOverloadFloor:
             Histogram.point_mass(1e6, bucket_width=1e4),
             Histogram.point_mass(5e-3, bucket_width=1e-4))
 
-    @pytest.mark.parametrize("path", list(PATHS))
+    @pytest.mark.parametrize("path", PATH_PARAMS)
     def test_fully_hopeless_queue_floors_at_nominal(self, path):
         ctx = SchemeContext(latency_bound_s=1e-4)
         sim = Simulator()
@@ -224,8 +271,8 @@ class TestHopelessOverloadFloor:
             sim.run()
             core.finalize(settle_dvfs=True)
             per_path[path] = calls
-        assert per_path["kernel"] == per_path["scalar"]
-        assert per_path["vectorized"] == per_path["scalar"]
+        for path in per_path:
+            assert per_path[path] == per_path["scalar"], path
         assert SchemeContext(latency_bound_s=1e-4).dvfs.nominal_hz in \
             per_path["scalar"]
 
@@ -263,26 +310,58 @@ class TestMidRunToggles:
 
     def test_property_rebinding(self):
         r = Rubik()
-        assert r.decision_path == "kernel"
-        assert r._decide.__func__ is Rubik._update_frequency_kernel
+        assert r.kernel == "auto"
+        auto_path = "native" if _NATIVE else "kernel"
+        assert r.decision_path == auto_path
+        if _NATIVE:
+            assert r._decide.__func__ is Rubik._update_frequency_native
+        else:
+            assert r._decide.__func__ is Rubik._update_frequency_kernel
         r.vectorized = False
         assert r.decision_path == "scalar"
         assert r._decide.__func__ is Rubik._update_frequency_scalar
         r.vectorized = True
-        assert r.decision_path == "kernel"  # kernel flag still set
+        assert r.decision_path == auto_path  # kernel mode still "auto"
+        r.kernel = True
+        assert r.decision_path == "kernel"
+        assert r._decide.__func__ is Rubik._update_frequency_kernel
         r.kernel = False
         assert r.decision_path == "vectorized"
         assert r._decide.__func__ is Rubik._update_frequency_vectorized
+        # "native" falls back to the Python kernel when unavailable —
+        # decision_path reports the path actually taken, never the wish.
+        r.kernel = "native"
+        assert r.decision_path == auto_path
         r.kernel = True
         assert r.decision_path == "kernel"
+
+    def test_kernel_mode_validation(self):
+        with pytest.raises(ValueError):
+            Rubik(kernel="sometimes")
+        r = Rubik()
+        with pytest.raises(ValueError):
+            r.kernel = 1  # only the bools themselves, not truthy ints
+        assert r.kernel == "auto"  # rejected assignment left mode alone
 
     def test_first_kernel_decide_rebinds_to_kernel(self):
         """The lazy wrapper must replace itself after building the
         kernel (no per-event dispatch hop)."""
         ctx = make_context(MASSTREE, 3, 300)
         trace = Trace.generate_at_load(MASSTREE, 0.5, 300, 3)
+        _, _, rubik = run_decisions(trace, Rubik(kernel=True), ctx)
+        assert type(rubik._kernel) is DecisionKernel
+        assert rubik._decide == rubik._kernel.decide
+
+    @pytest.mark.native
+    @skip_without_native
+    def test_first_native_decide_rebinds_to_native(self):
+        """Same rebinding contract for the native wrapper."""
+        from repro.core._native.kernel import NativeDecisionKernel
+
+        ctx = make_context(MASSTREE, 3, 300)
+        trace = Trace.generate_at_load(MASSTREE, 0.5, 300, 3)
         _, _, rubik = run_decisions(trace, Rubik(), ctx)
-        assert rubik._kernel is not None
+        assert isinstance(rubik._kernel, NativeDecisionKernel)
         assert rubik._decide == rubik._kernel.decide
 
     @pytest.mark.parametrize("flips", [
@@ -316,6 +395,34 @@ class TestMidRunToggles:
         if flips[-1] == ("kernel", True):
             stats = rubik.kernel_stats
             assert stats is not None and stats.decisions > 0
+
+    @pytest.mark.native
+    @skip_without_native
+    @pytest.mark.parametrize("start,flip_to", [
+        (True, "native"),      # Python kernel -> native mid-run
+        ("native", True),      # native -> Python kernel mid-run
+        ("native", False),     # native -> plain vectorized
+        (False, "native"),     # vectorized -> native
+    ])
+    def test_midrun_native_toggle_equivalent(self, start, flip_to):
+        """Toggling to/from the native kernel mid-run is invisible: the
+        replacement kernel rebuilds its incremental state from the live
+        queue and stays pinned to the scalar oracle."""
+        app = MASSTREE
+        n = 800
+        seed = 5
+        ctx = make_context(app, seed, n)
+        trace = Trace.generate_at_load(app, 0.6, n, seed)
+        ref_calls, ref_core, _ = run_decisions(
+            trace, Rubik(vectorized=False, kernel=False), ctx)
+        t_mid = float(trace.arrivals[n // 2])
+        calls, core, rubik = run_decisions(
+            trace, Rubik(kernel=start), ctx,
+            at=(t_mid, lambda r: setattr(r, "kernel", flip_to)))
+        assert calls == ref_calls
+        assert meter_totals(core) == meter_totals(ref_core)
+        assert rubik.decision_path == (
+            {True: "kernel", False: "vectorized"}.get(flip_to, "native"))
 
     def test_toggle_back_and_forth_same_run(self):
         app = MASSTREE
@@ -443,6 +550,6 @@ class TestKernelInternals:
             sim.run()
             core.finalize(settle_dvfs=True)
             per_path[path] = calls
-        assert per_path["kernel"] == per_path["scalar"]
-        assert per_path["vectorized"] == per_path["scalar"]
+        for path in per_path:
+            assert per_path[path] == per_path["scalar"], path
         assert 2.6e9 in per_path["scalar"]  # quantized-up nominal floor
