@@ -32,6 +32,11 @@ the repo's history:
   engagement + decision counters of a default run, and the native
   path's speedups over the Python kernel and the PR 5 trajectory
   point (the headline: the overload wall vs BENCH_PR5's kernel).
+* ``regenerate_cached``: the PR 7 content-addressed artifact store —
+  the same regenerate subset cold (empty store: every cell computes and
+  persists) then warm (every cell replays from disk), with the store's
+  hit/miss/put counters for both runs. The headline is the warm wall: a
+  fully-cached regeneration must recompute zero cells.
 
 Usage::
 
@@ -54,7 +59,9 @@ import io
 import json
 import math
 import platform
+import tempfile
 import time
+from pathlib import Path
 from typing import Callable, Dict, Optional
 
 import numpy as np
@@ -65,7 +72,7 @@ from repro.core.histogram import Histogram
 from repro.core.profiler import DemandProfiler
 from repro.core.table_cache import TABLE_CACHE
 from repro.core.tail_tables import TargetTailTables
-from repro.experiments import runner
+from repro.experiments import artifacts, runner
 from repro.experiments.common import latency_bound, make_context
 from repro.experiments.fig09_load_sweep import run_load_sweep
 from repro.perf import pools_created
@@ -74,7 +81,7 @@ from repro.sim.trace import Trace
 from repro.workloads.apps import APPS
 
 #: Which PR this bench file tracks (bump per perf-relevant PR).
-PR_NUMBER = 6
+PR_NUMBER = 7
 
 #: Seed-measured reference numbers for the same workloads, recorded on
 #: the machine that produced BENCH_PR1.json before the PR 1 fast paths
@@ -136,6 +143,17 @@ PR5_BASELINE = {
     "decision_moderate_kernel_s": 0.09099380199950247,
     "decision_overload_kernel_s": 0.05173138600002858,
     "decision_overload_scalar_s": 1.9314146699998673,
+}
+
+#: PR 6's recorded numbers (BENCH_PR6.json). PR 7's lever: the
+#: content-addressed artifact store — single-run hot paths are
+#: untouched (``rubik_run``/``load_sweep`` should hold steady), the
+#: uncached ``regenerate`` flow pays only fingerprint overhead, and the
+#: new ``regenerate_cached`` section tracks the warm-replay win.
+PR6_BASELINE = {
+    "rubik_run_s": 0.02402407299996412,
+    "load_sweep_s": 0.8808633009994082,
+    "regenerate_s": 6.873982521000471,
 }
 
 #: Events-per-request ceiling for the Rubik run: one arrival + one
@@ -246,6 +264,7 @@ def bench_controller_events(num_requests: int, load: float,
         out["speedup_vs_pr3"] = PR3_BASELINE["rubik_run_s"] / wall
         out["speedup_vs_pr4"] = PR4_BASELINE["rubik_run_s"] / wall
         out["speedup_vs_pr5"] = PR5_BASELINE["rubik_run_s"] / wall
+        out["speedup_vs_pr6"] = PR6_BASELINE["rubik_run_s"] / wall
         out["events_vs_pr1"] = (result.events_processed
                                 / PR1_BASELINE["rubik_run_events"])
     return out
@@ -266,6 +285,7 @@ def bench_load_sweep(loads, num_requests: int) -> Dict[str, float]:
         out["speedup_vs_pr3"] = PR3_BASELINE["load_sweep_s"] / wall
         out["speedup_vs_pr4"] = PR4_BASELINE["load_sweep_s"] / wall
         out["speedup_vs_pr5"] = PR5_BASELINE["load_sweep_s"] / wall
+        out["speedup_vs_pr6"] = PR6_BASELINE["load_sweep_s"] / wall
     return out
 
 
@@ -305,7 +325,48 @@ def bench_regenerate(experiments, num_requests: int) -> Dict[str, float]:
         out["speedup_vs_pr3"] = PR3_BASELINE["regenerate_s"] / wall
         out["speedup_vs_pr4"] = PR4_BASELINE["regenerate_s"] / wall
         out["speedup_vs_pr5"] = PR5_BASELINE["regenerate_s"] / wall
+        out["speedup_vs_pr6"] = PR6_BASELINE["regenerate_s"] / wall
     return out
+
+
+def bench_regenerate_cached(experiments, num_requests: int) -> Dict:
+    """The PR 7 artifact store: cold fill vs warm replay.
+
+    Runs the same ``regenerate`` subset twice against a store rooted in
+    a throwaway temp directory (the on-disk store under test, without
+    touching the developer's ``.repro-artifacts/``): the cold pass
+    computes and persists every cell, the warm pass must serve every
+    cell from disk (zero misses, zero puts — the ``perf_smoke`` guard).
+    The memoized latency bound is cleared before each pass so the warm
+    wall measures the store, not the in-process memo.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        store = artifacts.ArtifactStore(Path(tmp))
+        with artifacts.activate(store):
+            def one_pass() -> float:
+                latency_bound.cache_clear()
+                t0 = time.perf_counter()
+                with contextlib.redirect_stdout(io.StringIO()):
+                    runner.regenerate(experiments,
+                                      num_requests=num_requests)
+                return time.perf_counter() - t0
+
+            cold_wall = one_pass()
+            cold = store.stats()
+            store.reset_stats()
+            warm_wall = one_pass()
+            warm = store.stats()
+    counter_keys = ("hits", "misses", "puts", "errors")
+    return {
+        "experiments": list(experiments),
+        "cells": cold["puts"],
+        "cold_wall_s": cold_wall,
+        "warm_wall_s": warm_wall,
+        "warm_speedup_vs_cold": cold_wall / warm_wall,
+        "cold": {k: cold[k] for k in counter_keys},
+        "warm": {k: warm[k] for k in counter_keys},
+        "warm_per_driver": warm["per_driver"],
+    }
 
 
 def _loop_time(fn: Callable[[], object], iters: int) -> float:
@@ -541,12 +602,15 @@ def run_benchmarks(quick: bool = False) -> Dict:
         "pr3_baseline": PR3_BASELINE,
         "pr4_baseline": PR4_BASELINE,
         "pr5_baseline": PR5_BASELINE,
+        "pr6_baseline": PR6_BASELINE,
         "table_build": bench_table_build(cfg["table_reps"]),
         "controller_events": bench_controller_events(
             cfg["run_requests"], cfg["run_load"]),
         "load_sweep": bench_load_sweep(
             cfg["sweep_loads"], cfg["sweep_requests"]),
         "regenerate": bench_regenerate(
+            cfg["regen_experiments"], cfg["regen_requests"]),
+        "regenerate_cached": bench_regenerate_cached(
             cfg["regen_experiments"], cfg["regen_requests"]),
         "refresh_churn": bench_refresh_churn(
             cfg["run_requests"], cfg["run_load"], cfg["snapshot_iters"]),

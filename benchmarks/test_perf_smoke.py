@@ -164,6 +164,27 @@ def test_quick_bench_emits_trajectory_point(tmp_path):
         # recorded — never a silent absence.
         assert nk["build"]["env_mode"] == "0" or nk["build"]["error"]
 
+    # Artifact-store guards (PR 7). A warm regeneration over a freshly
+    # cold-filled store must recompute zero cells — every cell replays
+    # from disk (zero misses, zero puts), the hit count equals the cell
+    # population the cold pass persisted, and the warm wall collapses to
+    # a small fraction of the cold one (replay is deserialization, not
+    # simulation). A corrupt store would surface as errors > 0.
+    rc = results["regenerate_cached"]
+    assert list(rc["experiments"]) == \
+        list(run_bench.QUICK["regen_experiments"])
+    assert rc["cells"] > 0
+    assert rc["cold"]["misses"] == rc["cold"]["puts"] == rc["cells"]
+    assert rc["cold"]["hits"] == 0 and rc["cold"]["errors"] == 0
+    assert rc["warm"]["misses"] == 0 and rc["warm"]["puts"] == 0, (
+        f"warm regeneration recomputed {rc['warm']['misses']} cells; "
+        "a fully-cached store must serve every cell from disk")
+    assert rc["warm"]["hits"] == rc["cells"]
+    assert rc["warm"]["errors"] == 0
+    assert rc["warm_wall_s"] <= 0.2 * rc["cold_wall_s"], (
+        f"warm regeneration took {rc['warm_wall_s']:.3f}s vs cold "
+        f"{rc['cold_wall_s']:.3f}s; cached replay must be >=5x faster")
+
     # The seed reference the trajectory is measured against is recorded
     # alongside every point.
     assert results["seed_baseline"] == run_bench.SEED_BASELINE

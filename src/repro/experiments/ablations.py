@@ -20,8 +20,8 @@ from typing import Callable, Dict, Optional, Tuple
 from repro.analysis.tables import render_table
 from repro.config import NOMINAL_FREQUENCY_HZ
 from repro.core.controller import Rubik
-from repro.experiments.common import latency_bound, make_context
-from repro.perf import parallel_map
+from repro.experiments.common import latency_bound, make_context, run_cells
+from repro.experiments.configs import CONFIGS
 from repro.schemes.base import Scheme
 from repro.schemes.pegasus import Pegasus
 from repro.schemes.replay import replay
@@ -30,7 +30,8 @@ from repro.sim.server import run_trace
 from repro.sim.trace import Trace
 from repro.workloads.apps import MASSTREE
 
-LOAD = 0.4
+CONFIG = CONFIGS["ablations"]
+LOAD = CONFIG.extra("load")
 
 #: Variant name -> controller factory (fresh instance per run; built
 #: inside the worker so only the name crosses the process boundary).
@@ -105,8 +106,8 @@ def run_ablations(num_requests: Optional[int] = None,
     the same float arithmetic as the old serial loop.
     """
     names = [_BASELINE] + list(VARIANTS) + [_STATIC_REF]
-    results = parallel_map(
-        _ablation_point,
+    results = run_cells(
+        "ablations", _ablation_point,
         [(name, num_requests, seed) for name in names],
         processes=processes,
     )

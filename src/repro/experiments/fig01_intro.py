@@ -16,15 +16,16 @@ import numpy as np
 from repro.analysis.tables import render_series, render_table
 from repro.analysis.windows import windowed_series
 from repro.core.controller import Rubik
-from repro.experiments.common import make_context
-from repro.perf import parallel_map
+from repro.experiments.common import make_context, run_cells
+from repro.experiments.configs import CONFIGS
 from repro.schemes.static_oracle import StaticOracle
 from repro.sim.arrivals import LoadSchedule
 from repro.sim.server import run_trace
 from repro.sim.trace import Trace
 from repro.workloads.apps import MASSTREE
 
-LOADS = (0.3, 0.4, 0.5)
+CONFIG = CONFIGS["fig01"]
+LOADS = CONFIG.loads
 
 
 @dataclasses.dataclass
@@ -91,9 +92,9 @@ def run_fig1a(num_requests: Optional[int] = None, seed: int = 21,
     :func:`repro.perf.parallel_map` (bitwise-identical to the serial
     loop; pinned in ``tests/experiments/test_runner_equivalence.py``).
     """
-    rows = parallel_map(_fig1a_point,
-                        [(load, num_requests, seed) for load in LOADS],
-                        processes=processes)
+    rows = run_cells("fig01", _fig1a_point,
+                     [(load, num_requests, seed) for load in LOADS],
+                     processes=processes)
     return Fig1aResult(LOADS, [r[0] for r in rows], [r[1] for r in rows])
 
 
@@ -144,10 +145,17 @@ def run_fig1b(num_requests: int = 6000, seed: int = 21,
     )
 
 
+def _fig1b_cell(args) -> Fig1bResult:
+    """Fig. 1b as a single cell (module-level, picklable result)."""
+    num_requests, seed = args
+    return run_fig1b(num_requests, seed)
+
+
 def main(num_requests: Optional[int] = None) -> str:
     """Run both panels and return the formatted report."""
-    parts = [run_fig1a(num_requests).table(),
-             run_fig1b(num_requests or 6000).table()]
+    fig1b_requests = num_requests or CONFIG.extra("fig1b_requests")
+    (fig1b,) = run_cells("fig01", _fig1b_cell, [(fig1b_requests, 21)])
+    parts = [run_fig1a(num_requests).table(), fig1b.table()]
     report = "\n\n".join(parts)
     print(report)
     return report

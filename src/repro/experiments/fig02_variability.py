@@ -17,13 +17,15 @@ from repro.analysis.stats import empirical_cdf
 from repro.analysis.tables import render_series, render_table
 from repro.analysis.windows import instantaneous_qps, windowed_series
 from repro.config import NOMINAL_FREQUENCY_HZ
-from repro.perf import parallel_map
+from repro.experiments.common import run_cells
+from repro.experiments.configs import CONFIGS
 from repro.schemes.replay import lindley_finish_times, replay
 from repro.sim.trace import Trace
 from repro.workloads.apps import APPS, app_names
 
-DEFAULT_LOAD = 0.5
-LOAD_SWEEP = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
+CONFIG = CONFIGS["fig02"]
+DEFAULT_LOAD = CONFIG.extra("default_load")
+LOAD_SWEEP = CONFIG.loads
 
 
 @dataclasses.dataclass
@@ -62,8 +64,8 @@ def run_fig2a(num_requests: Optional[int] = None, seed: int = 21,
               ) -> Fig2aResult:
     """Instantaneous-load CDFs (Fig. 2a), one parallel point per app."""
     names = app_names()
-    rows = parallel_map(
-        _fig2a_point,
+    rows = run_cells(
+        "fig02", _fig2a_point,
         [(name, load, num_requests, seed, tuple(quantiles))
          for name in names],
         processes=processes)
@@ -164,8 +166,8 @@ def run_fig2c(num_requests: Optional[int] = None, seed: int = 21,
     the old nested serial loops).
     """
     names = app_names()
-    flat = iter(parallel_map(
-        _fig2c_point,
+    flat = iter(run_cells(
+        "fig02", _fig2c_point,
         [(name, load, num_requests, seed)
          for name in names for load in loads],
         processes=processes))
@@ -173,10 +175,17 @@ def run_fig2c(num_requests: Optional[int] = None, seed: int = 21,
     return Fig2cResult(loads, per_app)
 
 
+def _fig2b_cell(args) -> Fig2bResult:
+    """Fig. 2b as a single cell (module-level, picklable result)."""
+    num_requests, seed = args
+    return run_fig2b(num_requests, seed)
+
+
 def main(num_requests: Optional[int] = None) -> str:
+    (fig2b,) = run_cells("fig02", _fig2b_cell, [(num_requests, 21)])
     parts = [
         run_fig2a(num_requests).table(),
-        run_fig2b(num_requests).table(),
+        fig2b.table(),
         run_fig2c(num_requests).table(),
     ]
     report = "\n\n".join(parts)

@@ -19,12 +19,14 @@ from repro.experiments.common import (
     DEFAULT_EVAL_SEEDS,
     _compare_seed,
     aggregate_seed_rows,
+    run_cells,
 )
-from repro.perf import parallel_map
+from repro.experiments.configs import CONFIGS
 from repro.workloads.apps import APPS, app_names
 
-LOADS = (0.3, 0.4, 0.5)
-SCHEMES = ("StaticOracle", "AdrenalineOracle", "Rubik")
+CONFIG = CONFIGS["fig06"]
+LOADS = CONFIG.loads
+SCHEMES = CONFIG.schemes
 
 
 @dataclasses.dataclass
@@ -81,8 +83,8 @@ def run_fig6(
     schemes = tuple(include)
     points = [(APPS[name], load, seed, num_requests, schemes)
               for name in names for load in loads for seed in seeds]
-    per_point = iter(parallel_map(_compare_seed, points,
-                                  processes=processes))
+    per_point = iter(run_cells("fig06", _compare_seed, points,
+                               processes=processes))
     savings: Dict[str, Dict[float, Dict[str, float]]] = {}
     for name in names:
         savings[name] = {}

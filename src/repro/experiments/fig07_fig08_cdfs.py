@@ -16,15 +16,17 @@ import numpy as np
 
 from repro.analysis.tables import render_series, render_table
 from repro.core.controller import Rubik
-from repro.experiments.common import make_context, training_traces
-from repro.perf import parallel_map, shared_pool
+from repro.experiments.common import make_context, run_cells, training_traces
+from repro.experiments.configs import CONFIGS
+from repro.perf import shared_pool
 from repro.schemes.adrenaline import AdrenalineOracle
 from repro.schemes.static_oracle import StaticOracle
 from repro.sim.server import run_trace
 from repro.sim.trace import Trace
 from repro.workloads.apps import APPS
 
-LOAD = 0.5
+CONFIG = CONFIGS["fig07_08"]
+LOAD = CONFIG.extra("load")
 CDF_PERCENTILES = (5, 25, 50, 75, 90, 95, 99)
 
 
@@ -106,10 +108,9 @@ def main(num_requests: Optional[int] = None, seed: int = 21,
     """Figs. 7 and 8, the two apps fanned out over the sweep executor
     (reusing the shared pool when running under the regenerate CLI)."""
     with shared_pool(processes):
-        fig7, fig8 = parallel_map(
-            _cdf_point,
-            [("masstree", num_requests, seed),
-             ("xapian", num_requests, seed)],
+        fig7, fig8 = run_cells(
+            "fig07_08", _cdf_point,
+            [(name, num_requests, seed) for name in CONFIG.apps],
             processes=processes,
         )
     report = "\n\n".join([fig7.table(), fig8.table()])

@@ -22,8 +22,9 @@ import numpy as np
 from repro.analysis.tables import render_table
 from repro.config import NOMINAL_FREQUENCY_HZ
 from repro.core.controller import Rubik
-from repro.experiments.common import make_context
-from repro.perf import parallel_map, shared_pool
+from repro.experiments.common import make_context, run_cells
+from repro.experiments.configs import CONFIGS
+from repro.perf import shared_pool
 from repro.schemes.base import SchemeContext
 from repro.schemes.dynamic_oracle import evaluate_dynamic_oracle
 from repro.schemes.replay import replay
@@ -33,9 +34,9 @@ from repro.sim.trace import Trace
 from repro.workloads.apps import APPS, app_names
 from repro.workloads.base import AppProfile
 
-DEFAULT_LOADS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
-SCHEMES = ("Fixed", "StaticOracle", "DynamicOracle",
-           "Rubik (No Feedback)", "Rubik")
+CONFIG = CONFIGS["fig09"]
+DEFAULT_LOADS = CONFIG.loads
+SCHEMES = CONFIG.schemes
 
 
 @dataclasses.dataclass
@@ -102,8 +103,8 @@ def run_load_sweep(app_name: str,
     """
     app = APPS[app_name]
     context = make_context(app, seed, num_requests)
-    points = parallel_map(
-        _sweep_point,
+    points = run_cells(
+        "fig09", _sweep_point,
         [(app, load, context.latency_bound_s, num_requests, seed,
           dynamic_oracle_rounds) for load in loads],
         processes=processes,

@@ -18,8 +18,8 @@ import numpy as np
 from repro.analysis.tables import render_series
 from repro.analysis.windows import windowed_series
 from repro.core.controller import Rubik
-from repro.experiments.common import make_context, training_traces
-from repro.perf import parallel_map
+from repro.experiments.common import make_context, run_cells, training_traces
+from repro.experiments.configs import CONFIGS
 from repro.schemes.adrenaline import AdrenalineOracle
 from repro.schemes.base import Scheme
 from repro.schemes.static_oracle import StaticOracle
@@ -28,9 +28,10 @@ from repro.sim.server import RunResult, run_trace
 from repro.sim.trace import Trace
 from repro.workloads.apps import APPS, app_names
 
+CONFIG = CONFIGS["fig10"]
 #: Load fractions of the three phases (steps at T/3 and 2T/3).
-STEP_FRACTIONS = (0.25, 0.5, 0.75)
-TOTAL_TIME_S = 12.0
+STEP_FRACTIONS = CONFIG.extra("step_fractions")
+TOTAL_TIME_S = CONFIG.extra("total_time_s")
 WINDOW_S = 0.2
 
 
@@ -161,9 +162,9 @@ def run_fig10(apps: Optional[Sequence[str]] = None, seed: int = 21,
     """Step-response traces for all five apps (one parallel point per
     app; identical to the serial per-app loop)."""
     names = tuple(apps or app_names())
-    results = parallel_map(_step_response_point,
-                           [(name, seed, num_requests) for name in names],
-                           processes=processes)
+    results = run_cells("fig10", _step_response_point,
+                        [(name, seed, num_requests) for name in names],
+                        processes=processes)
     return dict(zip(names, results))
 
 

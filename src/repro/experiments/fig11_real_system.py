@@ -25,7 +25,8 @@ import numpy as np
 from repro.analysis.tables import render_table
 from repro.config import NOMINAL_FREQUENCY_HZ, real_system_dvfs
 from repro.core.controller import Rubik
-from repro.perf import parallel_map
+from repro.experiments.common import run_cells
+from repro.experiments.configs import CONFIGS
 from repro.schemes.base import SchemeContext
 from repro.schemes.replay import replay
 from repro.schemes.static_oracle import StaticOracle
@@ -34,8 +35,9 @@ from repro.sim.trace import Trace
 from repro.workloads.apps import APPS
 from repro.workloads.base import AppProfile
 
-LOADS = (0.3, 0.4, 0.5)
-REAL_SYSTEM_APPS = ("masstree", "moses")
+CONFIG = CONFIGS["fig11"]
+LOADS = CONFIG.loads
+REAL_SYSTEM_APPS = CONFIG.apps
 
 
 def real_system_variant(app: AppProfile) -> AppProfile:
@@ -101,8 +103,8 @@ def run_fig11(num_requests: Optional[int] = None, seed: int = 21,
               processes: Optional[int] = None) -> Fig11Result:
     """Real-system comparison for masstree and moses (one parallel
     point per app; identical to the serial per-app loop)."""
-    rows = parallel_map(
-        _fig11_app_point,
+    rows = run_cells(
+        "fig11", _fig11_app_point,
         [(name, num_requests, seed) for name in REAL_SYSTEM_APPS],
         processes=processes)
     savings = {name: row[0]

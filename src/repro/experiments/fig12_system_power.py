@@ -14,15 +14,16 @@ from typing import Dict, Optional
 from repro.analysis.tables import render_table
 from repro.config import NOMINAL_FREQUENCY_HZ
 from repro.core.controller import Rubik
-from repro.experiments.common import make_context
-from repro.perf import parallel_map
+from repro.experiments.common import make_context, run_cells
+from repro.experiments.configs import CONFIGS
 from repro.power.model import DEFAULT_SYSTEM_POWER, SystemPowerModel
 from repro.schemes.replay import replay
 from repro.sim.server import run_trace
 from repro.sim.trace import Trace
 from repro.workloads.apps import APPS, app_names
 
-LOAD = 0.3
+CONFIG = CONFIGS["fig12"]
+LOAD = CONFIG.extra("load")
 
 
 @dataclasses.dataclass
@@ -71,8 +72,8 @@ def run_fig12(num_requests: Optional[int] = None, seed: int = 21,
     """System-level savings: Rubik vs fixed-frequency at 30% load (one
     parallel point per app; identical to the serial loop)."""
     names = app_names()
-    rows = parallel_map(
-        _fig12_point,
+    rows = run_cells(
+        "fig12", _fig12_point,
         [(name, load, num_requests, seed, system) for name in names],
         processes=processes)
     return Fig12Result({n: r[0] for n, r in zip(names, rows)},

@@ -20,11 +20,12 @@ import numpy as np
 from repro.analysis.tables import render_table
 from repro.coloc.batch import generate_mixes
 from repro.coloc.server import COLOC_SCHEME_NAMES, run_colocated_server
-from repro.experiments.common import make_context
-from repro.perf import parallel_map
+from repro.experiments.common import make_context, run_cells
+from repro.experiments.configs import CONFIGS
 from repro.workloads.apps import APPS, app_names
 
-LC_LOAD = 0.6
+CONFIG = CONFIGS["fig15"]
+LC_LOAD = CONFIG.extra("lc_load")
 
 
 @dataclasses.dataclass
@@ -88,7 +89,7 @@ def run_fig15(
         context = make_context(app, seed, per_core * 2)
         for mix in mixes:
             pairs.append((app, mix, tuple(schemes), context, per_core, seed))
-    results = parallel_map(_fig15_pair, pairs, processes=processes)
+    results = run_cells("fig15", _fig15_pair, pairs, processes=processes)
     tails: Dict[str, List[float]] = {s: [] for s in schemes}
     for per_scheme in results:
         for scheme, tail in per_scheme.items():

@@ -18,9 +18,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import render_table
 from repro.coloc.datacenter import DatacenterComparison, compare_datacenters
-from repro.perf import parallel_map
+from repro.experiments.common import run_cells
+from repro.experiments.configs import CONFIGS
 
-LC_LOADS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
+CONFIG = CONFIGS["fig16"]
+LC_LOADS = CONFIG.loads
 
 
 @dataclasses.dataclass
@@ -75,8 +77,8 @@ def run_fig16(
     fallback on one CPU; identical results either way), reusing the
     shared worker pool when one is active (regenerate-all CLI).
     """
-    comparisons = parallel_map(
-        _fig16_point,
+    comparisons = run_cells(
+        "fig16", _fig16_point,
         [(load, seed, num_mixes, requests_per_core) for load in loads],
         processes=processes,
     )

@@ -7,26 +7,34 @@ matrix can be regenerated in one invocation:
     PYTHONPATH=src python -m repro.experiments --list
     PYTHONPATH=src python -m repro.experiments table1 fig06 -n 2000
     PYTHONPATH=src python -m repro.experiments all
+    PYTHONPATH=src python -m repro.experiments all --refresh fig06
+    PYTHONPATH=src python -m repro.experiments all --no-cache
 
-The drivers themselves flatten their nested loops (app x load x seed,
-ablation variants, (app, mix) pairs ...) into independent picklable
-points dispatched through :func:`repro.perf.parallel_map`; the runner
-wraps the whole regeneration in one persistent
-:class:`repro.perf.WorkerPool`, so *all* registered drivers share a
-single pool (created lazily, at most once per invocation) and its
-workers keep their per-process memo caches — notably
-:func:`repro.experiments.common.latency_bound` — warm across figures.
-Results are bitwise-identical to running each driver serially.
+A spec is a :class:`repro.experiments.configs.DriverConfig` (title,
+aliases, size knob, version tag) paired with the driver module's
+``main`` — the config's ``size_kwargs`` replaces the old per-driver
+lambda adapters for ``num_requests`` vs ``requests_per_core``.
+
+The drivers flatten their nested loops (app x load x seed, ablation
+variants, (app, mix) pairs ...) into independent picklable cells
+dispatched through :func:`repro.experiments.common.run_cells`; the
+runner wraps the whole regeneration in one persistent
+:class:`repro.perf.WorkerPool` (shared across drivers, workers keep
+their memo caches warm) and — unless ``--no-cache`` — activates the
+content-addressed artifact store, so previously computed cells replay
+from disk bitwise-identically and only misses hit the pool.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import dataclasses
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments import (
     ablations,
+    artifacts,
     fig01_intro,
     fig02_variability,
     fig06_power_savings,
@@ -39,25 +47,57 @@ from repro.experiments import (
     fig16_datacenter,
     table1_correlations,
 )
+from repro.experiments.configs import CONFIGS, DriverConfig
 from repro.perf import WorkerPool
 
 
 @dataclasses.dataclass(frozen=True)
 class ExperimentSpec:
-    """One registered experiment driver.
+    """One registered experiment driver: its declarative config plus the
+    module ``main``.
 
     ``run(num_requests)`` regenerates the table/figure (printing its
     report, as the module ``main()``s do) and returns the report string.
     ``num_requests=None`` means the driver's full paper-scale default;
-    drivers whose natural size knob is named differently (Fig. 15/16's
-    ``requests_per_core``) adapt it in their wrapper.
+    the config's ``size_kwargs`` maps the value onto the driver's size
+    knob (``num_requests``, or ``requests_per_core`` for Fig. 15/16).
     """
 
-    name: str
-    title: str
-    run: Callable[[Optional[int]], str]
-    aliases: Tuple[str, ...] = ()
+    config: DriverConfig
+    main: Callable[..., str]
 
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    @property
+    def title(self) -> str:
+        return self.config.title
+
+    @property
+    def aliases(self) -> Tuple[str, ...]:
+        return self.config.aliases
+
+    def run(self, num_requests: Optional[int] = None) -> str:
+        return self.main(**self.config.size_kwargs(num_requests))
+
+
+#: Driver name -> module entry point; everything else a spec needs
+#: (title, aliases, size knob, version tag) lives in its DriverConfig.
+_MAINS: Dict[str, Callable[..., str]] = {
+    "fig01": fig01_intro.main,
+    "fig02": fig02_variability.main,
+    "fig06": fig06_power_savings.main,
+    "fig07_08": fig07_fig08_cdfs.main,
+    "fig09": fig09_load_sweep.main,
+    "fig10": fig10_load_steps.main,
+    "fig11": fig11_real_system.main,
+    "fig12": fig12_system_power.main,
+    "fig15": fig15_coloc_tails.main,
+    "fig16": fig16_datacenter.main,
+    "table1": table1_correlations.main,
+    "ablations": ablations.main,
+}
 
 EXPERIMENTS: Dict[str, ExperimentSpec] = {}
 
@@ -70,43 +110,12 @@ def register(spec: ExperimentSpec) -> ExperimentSpec:
     return spec
 
 
-register(ExperimentSpec(
-    "fig01", "Fig. 1: intro energy comparison + load-step response",
-    fig01_intro.main))
-register(ExperimentSpec(
-    "fig02", "Fig. 2: service-time variability panels",
-    fig02_variability.main))
-register(ExperimentSpec(
-    "fig06", "Fig. 6: core power savings matrix",
-    fig06_power_savings.main))
-register(ExperimentSpec(
-    "fig07_08", "Figs. 7/8: latency CDFs + frequency histograms",
-    fig07_fig08_cdfs.main, aliases=("fig07", "fig08")))
-register(ExperimentSpec(
-    "fig09", "Fig. 9: trace-driven load sweeps",
-    fig09_load_sweep.main))
-register(ExperimentSpec(
-    "fig10", "Fig. 10: load-step responses",
-    fig10_load_steps.main))
-register(ExperimentSpec(
-    "fig11", "Fig. 11: real-system comparison (130us DVFS lag)",
-    fig11_real_system.main))
-register(ExperimentSpec(
-    "fig12", "Fig. 12: full-system power savings",
-    fig12_system_power.main))
-register(ExperimentSpec(
-    "fig15", "Fig. 15: colocation tail latencies",
-    lambda n: fig15_coloc_tails.main(requests_per_core=n)))
-register(ExperimentSpec(
-    "fig16", "Fig. 16: datacenter power & server count",
-    lambda n: (fig16_datacenter.main(requests_per_core=n)
-               if n is not None else fig16_datacenter.main())))
-register(ExperimentSpec(
-    "table1", "Table 1: latency-predictor correlations",
-    table1_correlations.main))
-register(ExperimentSpec(
-    "ablations", "Rubik design-choice ablations",
-    ablations.main))
+for _name, _cfg in CONFIGS.items():
+    register(ExperimentSpec(_cfg, _MAINS[_name]))
+missing = set(_MAINS) - set(CONFIGS)
+if missing:  # pragma: no cover - registry wiring error
+    raise RuntimeError(f"drivers without configs: {sorted(missing)}")
+del _name, _cfg, missing
 
 
 def experiment_names() -> List[str]:
@@ -139,7 +148,9 @@ def resolve(names: Optional[Sequence[str]] = None) -> List[ExperimentSpec]:
 
 def regenerate(names: Optional[Sequence[str]] = None,
                num_requests: Optional[int] = None,
-               processes: Optional[int] = None) -> Dict[str, str]:
+               processes: Optional[int] = None,
+               use_cache: bool = False,
+               refresh: Sequence[str] = ()) -> Dict[str, str]:
     """Regenerate the selected figures/tables through one shared pool.
 
     Returns ``{name: report}`` in registration order. The
@@ -147,10 +158,27 @@ def regenerate(names: Optional[Sequence[str]] = None,
     ``parallel_map`` inside the selected drivers reuse a single
     persistent pool (lazily created, at most once) instead of spawning
     per call; on one CPU everything stays on the exact serial path.
+
+    With ``use_cache=True`` the env-resolved artifact store is activated
+    for the duration: each driver's cells replay from disk when their
+    fingerprints match and only misses dispatch to the pool, with
+    results bitwise-identical either way. ``refresh`` names drivers
+    (aliases ok) whose cached cells are deleted first — the targeted
+    invalidation lever. The default is cache-off so library callers and
+    the equivalence tests keep their direct compute semantics; the CLI
+    flips it on.
     """
     specs = resolve(names)
+    if refresh:
+        store = artifacts.default_store()
+        for spec in resolve(refresh):
+            store.invalidate(spec.name)
+    if use_cache:
+        cache_ctx = artifacts.activate()
+    else:
+        cache_ctx = contextlib.nullcontext()
     reports: Dict[str, str] = {}
-    with WorkerPool(processes):
+    with cache_ctx, WorkerPool(processes):
         for spec in specs:
             reports[spec.name] = spec.run(num_requests)
     return reports
@@ -161,7 +189,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate paper figures/tables through one shared "
-                    "worker pool.")
+                    "worker pool and a content-addressed artifact cache.")
     parser.add_argument(
         "experiments", nargs="*", metavar="EXPERIMENT",
         help="experiment names (see --list); omit or pass 'all' for "
@@ -175,24 +203,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="shared-pool worker count (default: auto-size to the "
              "machine, capped by REPRO_MAX_WORKERS)")
     parser.add_argument(
+        "--no-cache", action="store_true",
+        help="compute every cell directly, neither reading nor writing "
+             "the artifact store")
+    parser.add_argument(
+        "--refresh", action="append", default=[], metavar="EXPERIMENT",
+        help="invalidate the named driver's cached cells before running "
+             "(repeatable; aliases ok)")
+    parser.add_argument(
         "--list", action="store_true", dest="list_experiments",
-        help="list registered experiments and exit")
+        help="list registered experiments (with cached-cell counts) "
+             "and exit")
     args = parser.parse_args(argv)
 
     if args.list_experiments:
+        store = artifacts.default_store()
         for name in experiment_names():
             spec = EXPERIMENTS[name]
             alias = f" (aliases: {', '.join(spec.aliases)})" \
                 if spec.aliases else ""
-            print(f"{name:<10} {spec.title}{alias}")
+            cached = store.cached_cells(name)
+            print(f"{name:<10} [{cached:>3} cached] {spec.title}{alias}")
         return 0
 
     try:
         specs = resolve(args.experiments)
+        if args.refresh:
+            resolve(args.refresh)  # surface bad --refresh names early
     except KeyError as exc:
         parser.error(str(exc.args[0]))
+    use_cache = not args.no_cache
     print(f"Regenerating: {', '.join(s.name for s in specs)}")
+    store = artifacts.default_store() if use_cache else None
+    before = store.stats() if store else None
     regenerate([s.name for s in specs],
                num_requests=args.num_requests,
-               processes=args.processes)
+               processes=args.processes,
+               use_cache=use_cache,
+               refresh=args.refresh)
+    if store is not None:
+        after = store.stats()
+        hits = after["hits"] - before["hits"]
+        misses = after["misses"] - before["misses"]
+        print(f"[artifact-cache] {hits} hits, {misses} misses "
+              f"({store.root})")
     return 0

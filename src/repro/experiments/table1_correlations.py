@@ -17,11 +17,14 @@ from repro.analysis.stats import pearson
 from repro.analysis.tables import render_table
 from repro.analysis.windows import instantaneous_qps
 from repro.config import NOMINAL_FREQUENCY_HZ
+from repro.experiments.common import run_cells
+from repro.experiments.configs import CONFIGS
 from repro.experiments.fig02_variability import queue_length_at_arrivals
-from repro.perf import parallel_map
 from repro.schemes.replay import replay
 from repro.sim.trace import Trace
 from repro.workloads.apps import APPS, app_names
+
+CONFIG = CONFIGS["table1"]
 
 #: Paper Table 1 values, for side-by-side comparison in the report.
 PAPER_TABLE1: Dict[str, Tuple[float, float, float]] = {
@@ -70,7 +73,7 @@ def _table1_point(args: Tuple[str, float, Optional[int], int]
 
 
 def run_table1(num_requests: Optional[int] = None, seed: int = 21,
-               load: float = 0.5,
+               load: float = CONFIG.extra("load"),
                processes: Optional[int] = None) -> Table1Result:
     """Compute the correlation table at the paper's operating point.
 
@@ -78,8 +81,8 @@ def run_table1(num_requests: Optional[int] = None, seed: int = 21,
     executor (serial fallback on one CPU; identical results either way).
     """
     names = app_names()
-    rows = parallel_map(
-        _table1_point,
+    rows = run_cells(
+        "table1", _table1_point,
         [(name, load, num_requests, seed) for name in names],
         processes=processes,
     )

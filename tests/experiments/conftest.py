@@ -1,0 +1,27 @@
+"""Experiment-test fixtures: isolate the artifact store per test.
+
+The regenerate CLI activates the env-resolved artifact store by
+default, so any test driving ``runner.main``/``regenerate`` from the
+repo root would otherwise write into a shared ``.repro-artifacts/``
+and leak state between tests (and onto the developer's disk). Every
+test in this package gets a fresh per-test store root and a clean
+cache-mode env instead.
+"""
+
+import pytest
+
+from repro.experiments import artifacts
+
+
+@pytest.fixture(autouse=True)
+def isolated_artifact_store(tmp_path, monkeypatch):
+    """Point REPRO_ARTIFACT_DIR at a per-test temp root and reset the
+    module's warn-once / memoization state."""
+    root = tmp_path / "artifacts"
+    monkeypatch.setenv(artifacts.ARTIFACT_DIR_ENV, str(root))
+    monkeypatch.delenv(artifacts.ARTIFACT_CACHE_ENV, raising=False)
+    monkeypatch.setattr(artifacts, "_warned_env_values", set())
+    monkeypatch.setattr(artifacts, "_warned_corrupt_paths", set())
+    monkeypatch.setattr(artifacts, "_default_stores", {})
+    monkeypatch.setattr(artifacts, "_active_store", None)
+    yield root
