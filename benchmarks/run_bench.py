@@ -59,6 +59,7 @@ import io
 import json
 import math
 import platform
+import sys
 import tempfile
 import time
 from pathlib import Path
@@ -68,6 +69,7 @@ import numpy as np
 
 from repro.core._native import build as native_build
 from repro.core.controller import Rubik
+from repro.lint import lint_paths
 from repro.core.histogram import Histogram
 from repro.core.profiler import DemandProfiler
 from repro.core.table_cache import TABLE_CACHE
@@ -585,11 +587,30 @@ def bench_native_kernel(decision_kernel: Dict) -> Dict:
     return out
 
 
+def check_lint() -> Dict:
+    """Invariant-checker status of the shipped ``repro`` tree.
+
+    A bench point records perf *under the repo's contracts* — a tree
+    with open determinism/ABI/flush findings can be fast for the wrong
+    reasons (e.g. a ctypes mirror drift changing every decision), so
+    ``main`` refuses to record one. The section keeps the scan summary
+    in the trajectory file and the ``perf_smoke`` guard asserts it.
+    """
+    result = lint_paths()
+    return {
+        "clean": result.clean,
+        "findings": [f.render() for f in result.findings],
+        "files_scanned": result.files_scanned,
+        "rules_run": result.rules_run,
+    }
+
+
 def run_benchmarks(quick: bool = False) -> Dict:
     cfg = QUICK if quick else FULL
     results = {
         "pr": PR_NUMBER,
         "quick": quick,
+        "lint": check_lint(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "machine": {
             "python": platform.python_version(),
@@ -631,6 +652,16 @@ def main(argv: Optional[list] = None) -> Dict:
                              "at the repo root in full mode; none in "
                              "--quick mode)" % PR_NUMBER)
     args = parser.parse_args(argv)
+
+    # Gate: never record a bench point for a tree that violates its own
+    # invariants (python -m repro.lint shows the findings).
+    lint = check_lint()
+    if not lint["clean"]:
+        for line in lint["findings"]:
+            print(line, file=sys.stderr)
+        raise SystemExit(
+            f"refusing to record a bench point: {len(lint['findings'])} "
+            "lint finding(s) — fix or suppress them first")
 
     results = run_benchmarks(quick=args.quick)
     print(json.dumps(results, indent=2))

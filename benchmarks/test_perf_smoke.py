@@ -28,6 +28,14 @@ def test_quick_bench_emits_trajectory_point(tmp_path):
     assert on_disk["pr"] == run_bench.PR_NUMBER
     assert on_disk["quick"] is True
 
+    # Invariant-checker gate (PR 8): a bench point is only recorded for
+    # a tree that passes `python -m repro.lint`, and the scan summary
+    # rides along in the trajectory file.
+    lint = results["lint"]
+    assert lint["clean"], "\n".join(lint["findings"])
+    assert lint["files_scanned"] > 50
+    assert len(lint["rules_run"]) == 6
+
     # Schema: every tracked section is present with sane values.
     table = results["table_build"]
     assert 0 < table["lazy_pair_ms"] <= table["materialized_pair_ms"]
@@ -188,3 +196,18 @@ def test_quick_bench_emits_trajectory_point(tmp_path):
     # The seed reference the trajectory is measured against is recorded
     # alongside every point.
     assert results["seed_baseline"] == run_bench.SEED_BASELINE
+
+
+def test_dirty_tree_refuses_to_record(tmp_path, monkeypatch):
+    """The lint gate: findings abort main() before any benchmark runs,
+    and no output file is written."""
+    out = tmp_path / "bench.json"
+    monkeypatch.setattr(run_bench, "check_lint", lambda: {
+        "clean": False,
+        "findings": ["x.py:1: [determinism] planted finding"],
+        "files_scanned": 1,
+        "rules_run": ["determinism"],
+    })
+    with pytest.raises(SystemExit, match="refusing to record"):
+        run_bench.main(["--quick", "--output", str(out)])
+    assert not out.exists()

@@ -8,8 +8,11 @@ the shared library is compiled with the system C compiler when one is
 available, and skipped silently otherwise — the package is pure-Python
 plus an optional accelerator, never a required extension (runtime falls
 back to build-on-first-use, and failing that to the Python kernel).
+
+Installs the ``repro-lint`` console script — the invariant checker suite
+(``python -m repro.lint``) as a first-class command.
 """
-from setuptools import setup
+from setuptools import find_packages, setup
 from setuptools.command.build_py import build_py
 
 
@@ -28,4 +31,13 @@ class _BuildWithNative(build_py):
                   "it will be built on first use or fall back to Python")
 
 
-setup(cmdclass={"build_py": _BuildWithNative})
+setup(
+    name="rubik-repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={"repro.core._native": ["*.c"]},
+    entry_points={
+        "console_scripts": ["repro-lint=repro.lint.__main__:main"],
+    },
+    cmdclass={"build_py": _BuildWithNative},
+)

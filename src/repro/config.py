@@ -1,4 +1,5 @@
-"""Machine configuration constants (paper Table 2).
+"""Machine configuration constants (paper Table 2) and the shared
+``REPRO_*`` environment-gate helpers.
 
 The simulated system mirrors the paper's 6-core Westmere-like CMP with
 Haswell-style FIVR per-core DVFS:
@@ -11,13 +12,24 @@ Haswell-style FIVR per-core DVFS:
 
 All times are seconds, frequencies are Hz, and work is measured in core
 cycles throughout the code base.
+
+The ``env_*`` helpers at the bottom are the one place ``REPRO_*``
+variables are read out of ``os.environ`` (enforced by the ``env-gate``
+lint rule): every gate shares the same validation contract — an invalid
+value warns once per distinct raw value (RuntimeWarning) and reads as
+unset. Callers own the warn-once registry (a module-level set they pass
+in), so their tests keep resetting warn state per module exactly as
+before the consolidation.
 """
 
 from __future__ import annotations
 
 import bisect
 import dataclasses
-from typing import Tuple
+import os
+import warnings
+from pathlib import Path
+from typing import Optional, Set, Tuple
 
 GHZ = 1e9
 MHZ = 1e6
@@ -169,3 +181,81 @@ def real_system_dvfs() -> DvfsConfig:
     on the Haswell testbed instead of the advertised 500 ns.
     """
     return DvfsConfig(transition_latency_s=REAL_SYSTEM_DVFS_LATENCY_S)
+
+
+# ---------------------------------------------------------------------------
+# REPRO_* environment gates (shared warn-once validation)
+# ---------------------------------------------------------------------------
+
+def _warn_once(var: str, raw: str, expected: str, warned: Set,
+               stacklevel: int) -> None:
+    key = (var, raw)
+    if key in warned:
+        return
+    warned.add(key)
+    # +2 skips the _warn_once and env_* frames, so ``stacklevel`` counts
+    # from the env_* caller — the same frame the pre-consolidation
+    # per-module warn sites pointed at with the same value.
+    warnings.warn(f"ignoring invalid {var}={raw!r} ({expected})",
+                  RuntimeWarning, stacklevel=stacklevel + 2)
+
+
+def env_nonneg_int(var: str, warned: Set, *,
+                   stacklevel: int = 3) -> Optional[int]:
+    """Validated non-negative-integer gate (``REPRO_MAX_WORKERS``).
+
+    Returns the parsed value, or ``None`` when the variable is unset or
+    invalid. ``0`` and ``1`` are legitimate settings (force-serial for
+    the worker cap); anything that is not a non-negative integer
+    (``""``, ``"-3"``, ``"abc"``) warns once per distinct raw value —
+    keyed in the caller-owned ``warned`` set — and reads as unset.
+    """
+    raw = os.environ.get(var)
+    if raw is None:
+        return None
+    try:
+        value: Optional[int] = int(raw)
+    except ValueError:
+        value = None
+    if value is None or value < 0:
+        _warn_once(var, raw, "expected a non-negative integer", warned,
+                   stacklevel)
+        return None
+    return value
+
+
+def env_tristate(var: str, warned: Set, *, stacklevel: int = 3) -> str:
+    """Validated ``"1"``/``"0"``/``"auto"`` gate (``REPRO_NATIVE``,
+    ``REPRO_ARTIFACT_CACHE``).
+
+    Unset and invalid values read as ``"auto"``; invalid values warn
+    once per distinct raw value in the caller-owned ``warned`` set.
+    """
+    raw = os.environ.get(var)
+    if raw is None:
+        return "auto"
+    value = raw.strip().lower()
+    if value in ("0", "1", "auto"):
+        return value
+    _warn_once(var, raw, "expected '1', '0', or 'auto'", warned,
+               stacklevel)
+    return "auto"
+
+
+def env_path(var: str, default: str, warned: Set, *,
+             stacklevel: int = 3) -> Path:
+    """Validated directory-path gate (``REPRO_ARTIFACT_DIR``).
+
+    Only an empty/whitespace-only value is invalid (any other string is
+    a legitimate directory name — ``"abc"`` and ``"-3"`` are valid
+    paths, unlike the integer envs); it warns once and falls back to
+    ``default``. The result is user-expanded.
+    """
+    raw = os.environ.get(var)
+    if raw is None:
+        return Path(default)
+    if not raw.strip():
+        _warn_once(var, raw, "expected a directory path", warned,
+                   stacklevel)
+        return Path(default)
+    return Path(os.path.expanduser(raw))

@@ -33,6 +33,8 @@ import warnings
 from pathlib import Path
 from typing import Dict, Optional, Set
 
+from repro import config
+
 #: Environment toggle for the native decision/event kernel.
 NATIVE_ENV = "REPRO_NATIVE"
 
@@ -61,22 +63,11 @@ _lib_path: Optional[str] = None
 def env_mode() -> str:
     """The validated ``REPRO_NATIVE`` mode: ``"1"``, ``"0"`` or ``"auto"``.
 
-    Invalid values warn once per distinct raw value and read as unset
-    (``"auto"``), mirroring the ``REPRO_MAX_WORKERS`` validation idiom.
+    Invalid values warn once per distinct raw value (registry owned
+    here, reset by ``_reset_for_tests``) and read as unset (``"auto"``),
+    via the shared gate helper in :mod:`repro.config`.
     """
-    raw = os.environ.get(NATIVE_ENV)
-    if raw is None:
-        return "auto"
-    value = raw.strip().lower()
-    if value in ("0", "1", "auto"):
-        return value
-    if raw not in _warned_env_values:
-        _warned_env_values.add(raw)
-        warnings.warn(
-            f"ignoring invalid {NATIVE_ENV}={raw!r} "
-            "(expected '1', '0', or 'auto')",
-            RuntimeWarning, stacklevel=3)
-    return "auto"
+    return config.env_tristate(NATIVE_ENV, _warned_env_values)
 
 
 def _source_tag() -> str:
@@ -154,6 +145,7 @@ def load_library() -> Optional[ctypes.CDLL]:
     if _load_attempted:
         return _lib
     _load_attempted = True
+    # repro-lint: allow(determinism) -- build-time diagnostic only
     t0 = time.perf_counter()
     try:
         path = ensure_built()
@@ -176,6 +168,7 @@ def load_library() -> Optional[ctypes.CDLL]:
                 f"({_load_error}); falling back to the Python kernel",
                 RuntimeWarning, stacklevel=3)
     finally:
+        # repro-lint: allow(determinism) -- build-time diagnostic only
         _build_seconds = time.perf_counter() - t0
     return _lib
 

@@ -54,6 +54,8 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro import config
+
 #: Environment variable naming the store root directory.
 ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"
 
@@ -90,23 +92,11 @@ def cache_mode() -> str:
     ``"auto"``.
 
     Invalid values (``""``, ``"-3"``, ``"abc"``) warn once per distinct
-    raw value and read as unset (``"auto"``), mirroring the
-    ``REPRO_MAX_WORKERS``/``REPRO_NATIVE`` validation idiom.
+    raw value (registry owned here, reset by the test fixtures) and
+    read as unset (``"auto"``), via the shared gate helper in
+    :mod:`repro.config`.
     """
-    raw = os.environ.get(ARTIFACT_CACHE_ENV)
-    if raw is None:
-        return "auto"
-    value = raw.strip().lower()
-    if value in ("0", "1", "auto"):
-        return value
-    key = (ARTIFACT_CACHE_ENV, raw)
-    if key not in _warned_env_values:
-        _warned_env_values.add(key)
-        warnings.warn(
-            f"ignoring invalid {ARTIFACT_CACHE_ENV}={raw!r} "
-            "(expected '1', '0', or 'auto')",
-            RuntimeWarning, stacklevel=3)
-    return "auto"
+    return config.env_tristate(ARTIFACT_CACHE_ENV, _warned_env_values)
 
 
 def artifact_dir() -> Path:
@@ -116,19 +106,8 @@ def artifact_dir() -> Path:
     default; any other string is a legitimate directory name (``"abc"``
     and ``"-3"`` are valid paths, unlike the integer envs).
     """
-    raw = os.environ.get(ARTIFACT_DIR_ENV)
-    if raw is None:
-        return Path(DEFAULT_ARTIFACT_DIR)
-    if not raw.strip():
-        key = (ARTIFACT_DIR_ENV, raw)
-        if key not in _warned_env_values:
-            _warned_env_values.add(key)
-            warnings.warn(
-                f"ignoring invalid {ARTIFACT_DIR_ENV}={raw!r} "
-                "(expected a directory path)",
-                RuntimeWarning, stacklevel=3)
-        return Path(DEFAULT_ARTIFACT_DIR)
-    return Path(os.path.expanduser(raw))
+    return config.env_path(ARTIFACT_DIR_ENV, DEFAULT_ARTIFACT_DIR,
+                           _warned_env_values)
 
 
 def _function_ref(fn: Callable) -> str:
@@ -290,6 +269,7 @@ class ArtifactStore:
         path.parent.mkdir(parents=True, exist_ok=True)
         header = {"driver": driver, "fingerprint": fingerprint,
                   "schema": STORE_SCHEMA_VERSION,
+                  # repro-lint: allow(determinism) -- header metadata only
                   "created": time.time()}
         if meta:
             header.update(meta)

@@ -16,7 +16,6 @@ import numpy as np
 
 from repro.analysis.tables import render_table
 from repro.experiments.common import (
-    DEFAULT_EVAL_SEEDS,
     _compare_seed,
     aggregate_seed_rows,
     run_cells,
@@ -27,6 +26,7 @@ from repro.workloads.apps import APPS, app_names
 CONFIG = CONFIGS["fig06"]
 LOADS = CONFIG.loads
 SCHEMES = CONFIG.schemes
+SEEDS = CONFIG.seeds
 
 
 @dataclasses.dataclass
@@ -64,7 +64,7 @@ class Fig6Result:
 
 def run_fig6(
     num_requests: Optional[int] = None,
-    seeds: Sequence[int] = DEFAULT_EVAL_SEEDS,
+    seeds: Sequence[int] = SEEDS,
     loads: Tuple[float, ...] = LOADS,
     apps: Optional[Sequence[str]] = None,
     include: Sequence[str] = SCHEMES,

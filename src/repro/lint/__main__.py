@@ -1,0 +1,71 @@
+"""Command line for the invariant checkers: ``python -m repro.lint``.
+
+Exit status 0 when the tree is clean, 1 when there are findings, 2 on
+usage errors (unknown rule ids, missing paths). Also installed as the
+``repro-lint`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.base import all_rules
+from repro.lint.engine import default_paths, lint_paths
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=("AST-based invariant checkers for the repro tree "
+                     "(determinism, native ABI, flush-hook, fingerprint "
+                     "coverage, env gates, picklable workers)."))
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: the installed "
+             "repro package tree)")
+    parser.add_argument(
+        "--rules", metavar="ID[,ID...]",
+        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    registry = all_rules()
+
+    if args.list_rules:
+        width = max(len(rid) for rid in registry)
+        for rid, rule in registry.items():
+            print(f"{rid:<{width}}  {rule.title}")
+            if rule.invariant:
+                print(f"{'':<{width}}  guards: {rule.invariant}")
+        return 0
+
+    rule_ids = None
+    if args.rules:
+        rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+
+    paths = args.paths or default_paths()
+    missing = [str(p) for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    try:
+        result = lint_paths(paths, rules=rule_ids)
+    except ValueError as exc:  # unknown rule ids
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(result.render())
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

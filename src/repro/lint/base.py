@@ -1,0 +1,267 @@
+"""Lint framework core: findings, the rule registry, file contexts and
+the inline suppression pragma.
+
+A checker is a :class:`Rule` subclass registered with :func:`register`;
+the engine (:mod:`repro.lint.engine`) feeds it parsed
+:class:`FileContext` objects (``scope = "file"``) or the whole
+:class:`~repro.lint.engine.Project` (``scope = "project"`` — for
+cross-file checks like the native-ABI mirror). Adding a checker is:
+subclass, set ``id``/``title``/``invariant``, yield
+:class:`Finding` objects from ``check_file`` or ``check_project``, and
+import the module from :mod:`repro.lint.rules`.
+
+Suppression pragma (same line as the finding, or a comment-only line
+directly above it)::
+
+    # repro-lint: allow(rule-id) -- reason the violation is intentional
+
+Multiple rules separate with commas. The reason is mandatory; a pragma
+that suppresses nothing is reported by the engine as
+``unused-suppression``, so stale justifications cannot linger.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import re
+import tokenize
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+#: Rule ids owned by the framework itself (not in the registry).
+PRAGMA_RULE = "pragma"
+UNUSED_SUPPRESSION_RULE = "unused-suppression"
+PARSE_RULE = "parse"
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclasses.dataclass
+class Suppression:
+    """One parsed ``repro-lint: allow(...)`` pragma."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+    #: Pragma sits on a comment-only line and covers the next line.
+    standalone: bool
+    used: bool = False
+
+    def covers(self, finding_line: int) -> bool:
+        if self.line == finding_line:
+            return True
+        return self.standalone and finding_line == self.line + 1
+
+
+#: Any occurrence of the pragma keyword — used to catch malformed ones.
+_PRAGMA_HINT_RE = re.compile(r"repro-lint\s*:")
+
+#: The well-formed pragma.
+_PRAGMA_RE = re.compile(
+    r"repro-lint:\s*allow\(\s*([A-Za-z0-9_,\s-]+?)\s*\)\s*--\s*(\S.*)")
+
+#: Comment-only line (python or C flavors).
+_COMMENT_ONLY_RE = re.compile(r"^\s*(#|//|/\*)")
+
+
+def _python_comments(source: str,
+                     lines: List[str]) -> Iterator[Tuple[int, str]]:
+    """(lineno, comment text) for real ``#`` comments only — string
+    literals and docstrings mentioning the pragma are documentation,
+    not suppressions."""
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable file: fall back to whole-line scanning so the
+        # pragma check still runs alongside the parse finding.
+        for lineno, text in enumerate(lines, start=1):
+            yield lineno, text
+
+
+def _c_comments(lines: List[str]) -> Iterator[Tuple[int, str]]:
+    """(lineno, comment text) for ``//`` and single-line ``/* */``."""
+    for lineno, text in enumerate(lines, start=1):
+        for marker in ("//", "/*"):
+            pos = text.find(marker)
+            if pos != -1:
+                yield lineno, text[pos:]
+                break
+
+
+def parse_suppressions(
+        path: str, source: str,
+        lines: List[str]) -> Tuple[List[Suppression], List[Finding]]:
+    """Extract pragmas from the file's comments.
+
+    Returns (suppressions, findings-for-malformed-pragmas). Malformed
+    means: the ``repro-lint:`` keyword appears in a comment but does not
+    match ``allow(<rules>) -- <reason>``; such findings are not
+    themselves suppressible.
+    """
+    comments = (_python_comments(source, lines) if path.endswith(".py")
+                else _c_comments(lines))
+    sups: List[Suppression] = []
+    findings: List[Finding] = []
+    for lineno, text in comments:
+        if not _PRAGMA_HINT_RE.search(text):
+            continue
+        m = _PRAGMA_RE.search(text)
+        if not m:
+            findings.append(Finding(
+                path, lineno, PRAGMA_RULE,
+                "malformed repro-lint pragma; expected "
+                "'repro-lint: allow(<rule>) -- <reason>'"))
+            continue
+        rules = tuple(sorted(
+            r.strip() for r in m.group(1).split(",") if r.strip()))
+        if not rules:
+            findings.append(Finding(
+                path, lineno, PRAGMA_RULE,
+                "repro-lint pragma allows no rules"))
+            continue
+        line_text = lines[lineno - 1] if lineno <= len(lines) else text
+        sups.append(Suppression(
+            line=lineno, rules=rules, reason=m.group(2).strip(),
+            standalone=bool(_COMMENT_ONLY_RE.match(line_text))))
+    return sups, findings
+
+
+class FileContext:
+    """One parsed source file handed to the rules.
+
+    ``tree`` is the :mod:`ast` module tree for ``.py`` files and
+    ``None`` for C sources (rules that read C parse the raw ``source``).
+    ``parents`` maps every AST node to its parent, built lazily — rules
+    use it for ancestor checks (e.g. "is this call wrapped in
+    ``sorted()``").
+    """
+
+    def __init__(self, path: str, source: str,
+                 tree: Optional[ast.AST] = None) -> None:
+        self.path = path
+        #: Posix-style path used for module whitelists/matching.
+        self.posix = path.replace("\\", "/")
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.suppressions, self.pragma_findings = parse_suppressions(
+            path, source, self.lines)
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+
+    @property
+    def is_python(self) -> bool:
+        return self.tree is not None
+
+    @property
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        if self._parents is None:
+            self._parents = {}
+            if self.tree is not None:
+                for node in ast.walk(self.tree):
+                    for child in ast.iter_child_nodes(node):
+                        self._parents[child] = node
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        parents = self.parents
+        while node in parents:
+            node = parents[node]
+            yield node
+
+
+class Rule:
+    """Base checker. Subclass, register, yield findings."""
+
+    #: Kebab-case rule id (used in reports, ``--rules`` and pragmas).
+    id: str = ""
+    #: One-line description shown by ``--list-rules``.
+    title: str = ""
+    #: The docs/performance.md invariant this rule guards (catalog
+    #: cross-reference; empty for framework-internal rules).
+    invariant: str = ""
+    #: "file" rules run once per file; "project" rules once per run.
+    scope: str = "file"
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: "Project") -> Iterable[Finding]:
+        return ()
+
+
+#: Registered rules, in registration (== documentation) order.
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls):
+    """Class decorator adding one :class:`Rule` to the registry."""
+    rule = cls()
+    if not rule.id or not rule.title:
+        raise ValueError(f"rule {cls.__name__} needs an id and a title")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> Dict[str, Rule]:
+    """id -> rule, in registration order (imports the rule modules)."""
+    # Deferred so `import repro.lint.base` stays cycle-free for rules.
+    import repro.lint.rules  # noqa: F401
+    return dict(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# shared AST helpers used by several rules
+# ---------------------------------------------------------------------------
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def chain_root(node: ast.AST) -> Optional[str]:
+    """The root ``Name`` id of an attribute chain (``a`` for ``a.b.c``)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Last segment of the called name (``map`` for ``pool.map(...)``)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def const_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None

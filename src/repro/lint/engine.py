@@ -1,0 +1,193 @@
+"""Lint engine: file collection, rule dispatch, suppression accounting.
+
+Entry points:
+
+* :func:`lint_paths` — files and/or directories (directories collect
+  ``*.py`` and ``*.c`` recursively, in sorted order);
+* :func:`lint_files` — an explicit file list;
+* :func:`lint_sources` — ``{path: source}`` mappings, used by the rule
+  unit tests to lint snippets without touching the filesystem;
+* :func:`default_paths` — the installed ``repro`` package tree, so
+  ``python -m repro.lint`` checks the real sources regardless of cwd.
+
+Suppression semantics: a finding is dropped when a pragma in its file
+covers its line *and* names its rule; the pragma is then marked used.
+Framework findings (malformed pragmas, syntax errors) are not
+suppressible. After all selected rules ran, every unused pragma whose
+rules were all selected becomes an ``unused-suppression`` finding — a
+stale pragma is itself a lint violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.lint.base import (
+    PARSE_RULE,
+    UNUSED_SUPPRESSION_RULE,
+    FileContext,
+    Finding,
+    Rule,
+    all_rules,
+)
+
+#: Extensions the engine knows how to lint.
+_EXTENSIONS = (".py", ".c")
+
+
+@dataclasses.dataclass
+class Project:
+    """The full parsed file set, handed to project-scoped rules."""
+
+    files: List[FileContext]
+
+
+@dataclasses.dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding]
+    files_scanned: int
+    rules_run: List[str]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        noun = "file" if self.files_scanned == 1 else "files"
+        if self.findings:
+            n = len(self.findings)
+            lines.append(f"{n} finding{'s' if n != 1 else ''} in "
+                         f"{self.files_scanned} {noun}")
+        else:
+            lines.append(f"clean: {self.files_scanned} {noun}, "
+                         f"{len(self.rules_run)} rules")
+        return "\n".join(lines)
+
+
+def default_paths() -> List[Path]:
+    """The ``repro`` package source tree (works from any cwd)."""
+    import repro
+    return [Path(repro.__file__).resolve().parent]
+
+
+def _collect_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            for ext in _EXTENSIONS:
+                files.extend(sorted(path.rglob(f"*{ext}")))
+        elif path.suffix in _EXTENSIONS:
+            files.append(path)
+    # De-duplicate while preserving order (overlapping path arguments).
+    seen = set()
+    unique: List[Path] = []
+    for f in files:
+        key = f.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(f)
+    return unique
+
+
+def _select_rules(rule_ids: Optional[Sequence[str]]) -> Dict[str, Rule]:
+    registry = all_rules()
+    if rule_ids is None:
+        return registry
+    unknown = sorted(set(rule_ids) - set(registry))
+    if unknown:
+        known = ", ".join(registry)
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(unknown)} (known: {known})")
+    return {rid: registry[rid] for rid in registry if rid in set(rule_ids)}
+
+
+def _build_context(path: str, source: str) -> FileContext:
+    """Parse one source into a FileContext; Python syntax errors become
+    ``parse`` findings carried on the context."""
+    if path.endswith(".py"):
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            ctx = FileContext(path, source, tree=None)
+            ctx.pragma_findings.append(Finding(
+                path, exc.lineno or 1, PARSE_RULE,
+                f"syntax error: {exc.msg}"))
+            return ctx
+        return FileContext(path, source, tree=tree)
+    return FileContext(path, source, tree=None)
+
+
+def _run(contexts: List[FileContext],
+         rules: Dict[str, Rule]) -> LintResult:
+    project = Project(files=contexts)
+    raw: List[Finding] = []
+    for rule in rules.values():
+        if rule.scope == "project":
+            raw.extend(rule.check_project(project))
+        else:
+            for ctx in contexts:
+                raw.extend(rule.check_file(ctx))
+
+    by_path = {ctx.path: ctx for ctx in contexts}
+    kept: List[Finding] = []
+    for finding in raw:
+        ctx = by_path.get(finding.path)
+        suppressed = False
+        if ctx is not None:
+            for sup in ctx.suppressions:
+                if finding.rule in sup.rules and sup.covers(finding.line):
+                    sup.used = True
+                    suppressed = True
+                    # keep scanning: one line may carry several pragmas
+        if not suppressed:
+            kept.append(finding)
+
+    # Framework findings: malformed pragmas, parse errors (never
+    # suppressible), then stale pragmas for fully-selected rule sets.
+    for ctx in contexts:
+        kept.extend(ctx.pragma_findings)
+        for sup in ctx.suppressions:
+            if not sup.used and set(sup.rules) <= set(rules):
+                kept.append(Finding(
+                    ctx.path, sup.line, UNUSED_SUPPRESSION_RULE,
+                    f"pragma allows {', '.join(sup.rules)} but suppresses "
+                    "nothing; remove it or fix the justification"))
+
+    kept.sort()
+    return LintResult(findings=kept, files_scanned=len(contexts),
+                      rules_run=list(rules))
+
+
+def lint_sources(sources: Mapping[str, str],
+                 rules: Optional[Sequence[str]] = None) -> LintResult:
+    """Lint in-memory ``{path: source}`` pairs (rule unit tests)."""
+    selected = _select_rules(rules)
+    contexts = [_build_context(path, text)
+                for path, text in sources.items()]
+    return _run(contexts, selected)
+
+
+def lint_files(files: Iterable[Path],
+               rules: Optional[Sequence[str]] = None) -> LintResult:
+    selected = _select_rules(rules)
+    contexts = []
+    for path in files:
+        path = Path(path)
+        contexts.append(_build_context(
+            str(path), path.read_text(encoding="utf-8")))
+    return _run(contexts, selected)
+
+
+def lint_paths(paths: Optional[Sequence[Path]] = None,
+               rules: Optional[Sequence[str]] = None) -> LintResult:
+    """Lint files/directories; ``None`` means :func:`default_paths`."""
+    if not paths:
+        paths = default_paths()
+    return lint_files(_collect_files(list(paths)), rules=rules)

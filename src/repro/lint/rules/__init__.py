@@ -1,0 +1,15 @@
+"""Rule modules — importing this package populates the registry.
+
+Registration order here is the order findings list in reports and
+``--list-rules``; keep it matching the catalog in
+``docs/static_analysis.md``.
+"""
+
+from repro.lint.rules import (  # noqa: F401
+    determinism,
+    native_abi,
+    flush_hook,
+    fingerprint,
+    env_gate,
+    picklable,
+)

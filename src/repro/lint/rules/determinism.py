@@ -1,0 +1,163 @@
+"""Rule ``determinism`` — no nondeterminism sources in library code.
+
+Every experiment output in this repo is pinned bitwise (ROADMAP
+guardrails; docs/performance.md invariant 1), so library code must not
+consult wall clocks, unseeded random number generators, or
+order-unstable iterables on any path that can feed outputs or
+fingerprints:
+
+* wall-clock reads (``time.time``, ``perf_counter``, ``datetime.now``,
+  ``time.strftime`` ...) — timestamps differ run to run;
+* the global :mod:`random` module and numpy's legacy global RNG
+  (``np.random.rand`` ...), plus ``np.random.default_rng()`` with no
+  seed — unseeded draws;
+* ``os.listdir`` / ``os.scandir`` / ``os.walk`` / ``Path.iterdir`` /
+  ``Path.glob``/``rglob`` not wrapped in ``sorted(...)`` — filesystem
+  order is arbitrary;
+* iterating a ``set``/``frozenset`` constructed inline — iteration
+  order depends on hash seeding.
+
+Metadata-only uses (an artifact header's creation timestamp, build-time
+diagnostics) are legitimate: suppress with a pragma naming the reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.base import (
+    FileContext,
+    Finding,
+    Rule,
+    call_name,
+    dotted_name,
+    register,
+)
+
+#: Fully-dotted calls that read wall-clock / host entropy.
+_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.strftime", "time.localtime", "time.gmtime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "uuid.uuid1", "uuid.uuid4",
+    "os.urandom",
+})
+
+#: numpy legacy global-RNG entry points (module-level state).
+_NP_LEGACY_RNG = frozenset({
+    "seed", "rand", "randn", "randint", "random", "random_sample",
+    "choice", "shuffle", "permutation", "uniform", "normal",
+    "standard_normal", "exponential", "poisson",
+})
+
+#: Directory-order producers that must be wrapped in sorted(...).
+_FS_ORDER_CALLS = frozenset({"os.listdir", "os.scandir", "os.walk"})
+_FS_ORDER_METHODS = frozenset({"iterdir", "glob", "rglob", "scandir"})
+
+
+def _in_sorted(ctx: FileContext, node: ast.AST) -> bool:
+    """Whether some ancestor (within the statement) sorts the result."""
+    for anc in ctx.ancestors(node):
+        if isinstance(anc, ast.Call) and isinstance(anc.func, ast.Name) \
+                and anc.func.id == "sorted":
+            return True
+        if isinstance(anc, ast.stmt):
+            break
+    return False
+
+
+@register
+class DeterminismRule(Rule):
+    id = "determinism"
+    title = "no wall clocks, unseeded RNGs, or unsorted FS/set iteration"
+    invariant = ("docs/performance.md invariant 1 (bitwise decision/"
+                 "output equivalence) and 17 (fingerprint stability)")
+    scope = "file"
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.is_python:
+            return
+        imports_random = any(
+            isinstance(n, ast.Import)
+            and any(a.name == "random" for a in n.names)
+            for n in ast.walk(ctx.tree))
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                finding = self._check_call(ctx, node, imports_random)
+                if finding is not None:
+                    yield finding
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                finding = self._check_iterable(ctx, node.iter)
+                if finding is not None:
+                    yield finding
+            elif isinstance(node, ast.comprehension):
+                finding = self._check_iterable(ctx, node.iter)
+                if finding is not None:
+                    yield finding
+
+    # ------------------------------------------------------------------
+    def _check_call(self, ctx: FileContext, node: ast.Call,
+                    imports_random: bool) -> Optional[Finding]:
+        dotted = dotted_name(node.func)
+        if dotted in _CLOCK_CALLS:
+            return Finding(
+                ctx.path, node.lineno, self.id,
+                f"wall-clock/entropy read {dotted}() is nondeterministic "
+                "across runs; derive times from the simulated clock or "
+                "suppress for metadata-only uses")
+        if dotted is not None:
+            if imports_random and dotted.startswith("random."):
+                return Finding(
+                    ctx.path, node.lineno, self.id,
+                    f"{dotted}() uses the global random module; use a "
+                    "seeded np.random.default_rng(seed) instead")
+            parts = dotted.split(".")
+            if len(parts) >= 3 and parts[-2] == "random" \
+                    and parts[0] in ("np", "numpy"):
+                leaf = parts[-1]
+                if leaf in _NP_LEGACY_RNG:
+                    return Finding(
+                        ctx.path, node.lineno, self.id,
+                        f"{dotted}() drives numpy's legacy global RNG; "
+                        "use a seeded np.random.default_rng(seed)")
+                if leaf == "default_rng" and not node.args \
+                        and not node.keywords:
+                    return Finding(
+                        ctx.path, node.lineno, self.id,
+                        f"{dotted}() without a seed draws from OS "
+                        "entropy; pass an explicit seed")
+        if dotted in _FS_ORDER_CALLS and not _in_sorted(ctx, node):
+            return Finding(
+                ctx.path, node.lineno, self.id,
+                f"{dotted}() yields files in arbitrary order; wrap in "
+                "sorted(...) before anything order-sensitive consumes it")
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _FS_ORDER_METHODS \
+                and dotted not in _FS_ORDER_CALLS \
+                and not _in_sorted(ctx, node):
+            return Finding(
+                ctx.path, node.lineno, self.id,
+                f".{node.func.attr}() yields files in arbitrary order; "
+                "wrap in sorted(...) before anything order-sensitive "
+                "consumes it")
+        return None
+
+    def _check_iterable(self, ctx: FileContext,
+                        it: ast.AST) -> Optional[Finding]:
+        if isinstance(it, ast.Set):
+            return Finding(
+                ctx.path, it.lineno, self.id,
+                "iterating a set literal: order depends on hash seeding; "
+                "iterate a sorted(...) view or a tuple")
+        if isinstance(it, ast.Call) and call_name(it) in ("set", "frozenset") \
+                and isinstance(it.func, ast.Name):
+            return Finding(
+                ctx.path, it.lineno, self.id,
+                f"iterating {it.func.id}(...): order depends on hash "
+                "seeding; iterate a sorted(...) view instead")
+        return None

@@ -1,0 +1,95 @@
+"""Rule ``env-gate`` — ``REPRO_*`` environment reads go through the
+shared validated helper.
+
+Every ``REPRO_*`` variable is a behavior gate with a warn-once
+validation contract (invalid values warn once per distinct value and
+read as unset — ``REPRO_MAX_WORKERS``, ``REPRO_NATIVE``,
+``REPRO_ARTIFACT_CACHE``/``_DIR`` all pin this in tests). Ad-hoc
+``os.environ`` reads scattered around the tree re-implement that
+contract slightly differently each time, or skip it — which is exactly
+how three near-identical validation blocks accumulated before they
+were consolidated into :mod:`repro.config`'s ``env_*`` helpers.
+
+This rule flags any ``os.environ.get(...)`` / ``os.environ[...]`` /
+``os.getenv(...)`` (and ``setdefault``/``pop``) whose key is a
+``REPRO_*`` string literal — or a module-level constant bound to one —
+outside ``repro/config.py``. Modules keep exporting their ``*_ENV``
+name constants; only the *read + validate* must live in the helper.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from repro.lint.base import (
+    FileContext,
+    Finding,
+    Rule,
+    const_str,
+    dotted_name,
+    register,
+)
+
+#: The one module allowed to read REPRO_* out of the environment.
+_HELPER_SUFFIX = "repro/config.py"
+
+_READ_CALLS = frozenset({
+    "os.environ.get", "os.getenv", "os.environ.setdefault",
+    "os.environ.pop",
+})
+
+_PREFIX = "REPRO_"
+
+
+def _env_constants(tree: ast.AST) -> Dict[str, str]:
+    """Module-level ``X_ENV = "REPRO_..."`` constants."""
+    consts: Dict[str, str] = {}
+    if isinstance(tree, ast.Module):
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                value = const_str(node.value)
+                if value is not None and value.startswith(_PREFIX):
+                    consts[node.targets[0].id] = value
+    return consts
+
+
+def _key_value(node: ast.AST, consts: Dict[str, str]) -> Optional[str]:
+    value = const_str(node)
+    if value is not None:
+        return value if value.startswith(_PREFIX) else None
+    if isinstance(node, ast.Name):
+        return consts.get(node.id)
+    return None
+
+
+@register
+class EnvGateRule(Rule):
+    id = "env-gate"
+    title = "REPRO_* env reads use the shared warn-once helper"
+    invariant = ("warn-once env validation idiom (REPRO_MAX_WORKERS/"
+                 "REPRO_NATIVE/REPRO_ARTIFACT_* test contracts)")
+    scope = "file"
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.is_python or ctx.posix.endswith(_HELPER_SUFFIX):
+            return
+        consts = _env_constants(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            key: Optional[str] = None
+            if isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted in _READ_CALLS and node.args:
+                    key = _key_value(node.args[0], consts)
+            elif isinstance(node, ast.Subscript):
+                base = dotted_name(node.value)
+                if base == "os.environ":
+                    key = _key_value(node.slice, consts)
+            if key is not None:
+                yield Finding(
+                    ctx.path, node.lineno, self.id,
+                    f"ad-hoc read of {key}: go through the validated "
+                    "warn-once helpers in repro.config (env_tristate/"
+                    "env_nonneg_int/env_path) so invalid values keep "
+                    "the warn-once contract")

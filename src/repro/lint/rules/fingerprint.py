@@ -1,0 +1,142 @@
+"""Rule ``fingerprint-coverage`` — every ``DriverConfig`` field must be
+able to reach the cell-fingerprint path.
+
+A cell's artifact fingerprint covers ``(schema, driver, version, fn,
+kernel, args)`` (docs/performance.md invariant 17). Config fields
+influence cells only through that tuple — the version tag directly, the
+sweep axes by shaping the args drivers hand to ``run_cells``. A field
+nobody consumes is a sweep axis that *cannot* reach the fingerprint: a
+PR could key new behavior on it and every cached artifact would alias
+across its values.
+
+Checks (project scope):
+
+* every field declared on the ``DriverConfig`` dataclass is consumed —
+  read as an attribute (``cfg.loads``, ``self.size_knob`` inside the
+  config's own adapters) somewhere in the scanned experiment modules
+  beyond its declaration;
+* the ``cell_fingerprint`` payload literally carries the six required
+  keys (``schema``, ``driver``, ``version``, ``fn``, ``kernel``,
+  ``args``) — dropping one silently aliases artifacts across that axis.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.base import FileContext, Finding, Rule, register
+
+#: Keys the fingerprint payload must carry (invariant 17).
+REQUIRED_PAYLOAD_KEYS = frozenset(
+    {"schema", "driver", "version", "fn", "kernel", "args"})
+
+#: The config dataclass and fingerprint function this rule anchors on.
+CONFIG_CLASS = "DriverConfig"
+FINGERPRINT_FN = "cell_fingerprint"
+
+
+def _config_fields(tree: ast.AST) -> Optional[
+        Tuple[ast.ClassDef, List[Tuple[str, int]]]]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == CONFIG_CLASS:
+            fields = [(stmt.target.id, stmt.lineno)
+                      for stmt in node.body
+                      if isinstance(stmt, ast.AnnAssign)
+                      and isinstance(stmt.target, ast.Name)
+                      and not stmt.target.id.startswith("_")]
+            return node, fields
+    return None
+
+
+def _attribute_reads(tree: ast.AST, config_cls: Optional[ast.ClassDef]
+                     ) -> Set[str]:
+    """All attribute names read in ``tree``.
+
+    Attribute *reads* only — ``DriverConfig(loads=...)`` keywords are
+    population, not consumption, and must not count.
+    """
+    reads: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+            reads.add(node.attr)
+    return reads
+
+
+def _payload_keys(fn: ast.FunctionDef) -> Optional[Set[str]]:
+    """First elements of the payload tuple-of-tuples, or None."""
+    for node in ast.walk(fn):
+        value = None
+        if isinstance(node, ast.Assign):
+            value = node.value
+        elif isinstance(node, ast.Return):
+            value = node.value
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            continue
+        keys: Set[str] = set()
+        for elt in value.elts:
+            if isinstance(elt, (ast.Tuple, ast.List)) and elt.elts \
+                    and isinstance(elt.elts[0], ast.Constant) \
+                    and isinstance(elt.elts[0].value, str):
+                keys.add(elt.elts[0].value)
+        if keys:
+            return keys
+    return None
+
+
+@register
+class FingerprintCoverageRule(Rule):
+    id = "fingerprint-coverage"
+    title = "every DriverConfig field reaches the cell-fingerprint path"
+    invariant = "docs/performance.md invariant 17 (fingerprint coverage)"
+    scope = "project"
+
+    def check_project(self, project) -> Iterator[Finding]:
+        config_ctx: Optional[FileContext] = None
+        config_info = None
+        fingerprint_ctx: Optional[FileContext] = None
+        fingerprint_fn: Optional[ast.FunctionDef] = None
+        consumed: Set[str] = set()
+
+        for ctx in project.files:
+            if not ctx.is_python:
+                continue
+            if config_info is None and CONFIG_CLASS in ctx.source:
+                found = _config_fields(ctx.tree)
+                if found is not None:
+                    config_ctx, config_info = ctx, found
+            if fingerprint_fn is None and FINGERPRINT_FN in ctx.source:
+                for node in ast.walk(ctx.tree):
+                    if isinstance(node, ast.FunctionDef) \
+                            and node.name == FINGERPRINT_FN:
+                        fingerprint_ctx, fingerprint_fn = ctx, node
+                        break
+            consumed |= _attribute_reads(ctx.tree, None)
+
+        if config_info is not None:
+            _cls, fields = config_info
+            for name, line in fields:
+                if name not in consumed:
+                    yield Finding(
+                        config_ctx.path, line, self.id,
+                        f"DriverConfig field {name!r} is never read: a "
+                        "sweep axis no driver consumes cannot reach "
+                        "cell args, so cached artifacts would alias "
+                        "across its values (bump-or-consume it)")
+
+        if fingerprint_fn is not None:
+            keys = _payload_keys(fingerprint_fn)
+            if keys is None:
+                yield Finding(
+                    fingerprint_ctx.path, fingerprint_fn.lineno, self.id,
+                    f"{FINGERPRINT_FN}: could not find the literal "
+                    "payload tuple; the fingerprint key set cannot be "
+                    "statically verified")
+            else:
+                for missing in sorted(REQUIRED_PAYLOAD_KEYS - keys):
+                    yield Finding(
+                        fingerprint_ctx.path, fingerprint_fn.lineno,
+                        self.id,
+                        f"{FINGERPRINT_FN} payload dropped the "
+                        f"{missing!r} key: artifacts would alias across "
+                        "that axis (invariant 17)")

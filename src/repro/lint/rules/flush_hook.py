@@ -1,0 +1,192 @@
+"""Rule ``flush-hook`` — mid-run accounting reads must flush first.
+
+DVFS segment accounting batches into buffers that are only integrated
+into :class:`~repro.power.energy.EnergyMeter` (and the segment log /
+frequency history) when ``core.flush_accounting()`` runs — the PR 2
+flush-hook contract, docs/performance.md invariant 5. A read of
+``core.meter`` / ``core.segment_log`` / ``core.dvfs.history`` that is
+not preceded by the flush hook observes stale totals — off by exactly
+the buffered tail, which is how the Pegasus telemetry bug class looks.
+
+Static model (function-scoped, per file):
+
+* an attribute read ending in ``.meter`` / ``.segment_log``, or a
+  ``.dvfs.history`` chain, is a *guarded read*;
+* it is satisfied when the same function body contains an earlier call
+  to ``flush_accounting(...)`` or ``finalize(...)`` (``finalize``
+  flushes internally) — on any receiver, since colocation code flushes
+  whole core lists in loops;
+* reads rooted at ``self`` are exempt (a class touching its own state
+  is the owner, not a mid-run reader), as are reads off completed
+  result objects — parameters/locals whose annotation or constructor
+  names a ``*Result`` type, or values of ``run_trace``/``replay``/
+  ``*.evaluate`` calls, which are finalized before they return;
+* the owning modules (``repro/sim/core.py``, ``repro/sim/dvfs.py``,
+  ``repro/power/energy.py``, ``repro/core/_native/session.py``) are
+  whitelisted — they implement the contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.lint.base import FileContext, Finding, Rule, chain_root, register
+
+#: Modules that own the buffers / implement the flush itself.
+_WHITELIST_SUFFIXES = (
+    "repro/sim/core.py",
+    "repro/sim/dvfs.py",
+    "repro/power/energy.py",
+    "repro/core/_native/session.py",
+)
+
+#: Calls that satisfy the contract for subsequent reads.
+_FLUSH_CALLS = frozenset({"flush_accounting", "finalize"})
+
+#: Attribute reads the contract guards.
+_GUARDED_ATTRS = frozenset({"meter", "segment_log"})
+
+#: Callees whose return value is a finalized result, not a live core.
+_RESULT_CALLS = frozenset({"run_trace", "replay"})
+
+
+def _is_result_annotation(node: ast.AST) -> bool:
+    """Whether an annotation expression names a ``*Result`` type."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id.endswith("Result"):
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr.endswith("Result"):
+            return True
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str) \
+                and "Result" in sub.value:
+            return True
+    return False
+
+
+def _result_names(func: ast.AST) -> Set[str]:
+    """Names in ``func`` bound to finalized result objects."""
+    names: Set[str] = set()
+    if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = func.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if arg.annotation is not None \
+                    and _is_result_annotation(arg.annotation):
+                names.add(arg.arg)
+    for node in ast.walk(func):
+        value = None
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            value, targets = node.value, [node.target]
+            if _is_result_annotation(node.annotation):
+                if isinstance(node.target, ast.Name):
+                    names.add(node.target.id)
+        if value is None or not isinstance(value, ast.Call):
+            continue
+        callee = value.func
+        is_result = (
+            (isinstance(callee, ast.Name)
+             and (callee.id in _RESULT_CALLS
+                  or callee.id.endswith("Result")))
+            or (isinstance(callee, ast.Attribute)
+                and (callee.attr in _RESULT_CALLS
+                     or callee.attr == "evaluate"
+                     or callee.attr.endswith("Result"))))
+        if not is_result:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _guarded_read(node: ast.Attribute) -> bool:
+    if not isinstance(node.ctx, ast.Load):
+        return False
+    if node.attr in _GUARDED_ATTRS:
+        return True
+    return (node.attr == "history"
+            and isinstance(node.value, ast.Attribute)
+            and node.value.attr == "dvfs")
+
+
+@register
+class FlushHookRule(Rule):
+    id = "flush-hook"
+    title = "meter/segment-log/DVFS-history reads flush accounting first"
+    invariant = "docs/performance.md invariant 5 (flush-hook contract)"
+    scope = "file"
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.is_python:
+            return
+        if ctx.posix.endswith(_WHITELIST_SUFFIXES):
+            return
+        # Each function body (and the module body) is its own scope;
+        # nested defs are visited as scopes of their own.
+        scopes: List[ast.AST] = [ctx.tree]
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node)
+        for scope in scopes:
+            yield from self._check_scope(ctx, scope)
+
+    def _check_scope(self, ctx: FileContext,
+                     scope: ast.AST) -> Iterator[Finding]:
+        own = (scope.body if not isinstance(scope, ast.Module)
+               else scope.body)
+        # Nodes belonging to this scope but not to nested functions.
+        nested: Set[ast.AST] = set()
+        for stmt in ast.walk(scope):
+            if stmt is scope:
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for sub in ast.walk(stmt):
+                    if sub is not stmt:
+                        nested.add(sub)
+        flush_lines: List[int] = []
+        reads: List[ast.Attribute] = []
+        for node in ast.walk(scope):
+            if node is scope or node in nested:
+                continue
+            if isinstance(node, ast.Call):
+                func = node.func
+                name = (func.attr if isinstance(func, ast.Attribute)
+                        else func.id if isinstance(func, ast.Name) else None)
+                if name in _FLUSH_CALLS:
+                    flush_lines.append(node.lineno)
+            elif isinstance(node, ast.Attribute) and _guarded_read(node):
+                reads.append(node)
+        if not reads:
+            return
+        result_names = _result_names(scope)
+        first_flush = min(flush_lines) if flush_lines else None
+        for node in reads:
+            root = chain_root(node.value)
+            if root in ("self", "cls"):
+                continue
+            if root is not None and root in result_names:
+                continue
+            # Reads directly off a result-returning call, e.g.
+            # run_trace(...).segment_log.
+            base = node.value
+            if isinstance(base, ast.Attribute):
+                base = base.value  # unwrap .dvfs for .dvfs.history
+            if isinstance(base, ast.Call):
+                callee = base.func
+                cname = (callee.attr if isinstance(callee, ast.Attribute)
+                         else callee.id if isinstance(callee, ast.Name)
+                         else None)
+                if cname in _RESULT_CALLS or cname == "evaluate":
+                    continue
+            if first_flush is None or node.lineno < first_flush:
+                what = (".dvfs.history" if node.attr == "history"
+                        else f".{node.attr}")
+                yield Finding(
+                    ctx.path, node.lineno, self.id,
+                    f"read of {what} without a preceding "
+                    "core.flush_accounting()/finalize() in this "
+                    "function: buffered segments/history would be "
+                    "missing (flush-hook contract)")

@@ -1,0 +1,150 @@
+"""Rule ``picklable-worker`` — sweep workers must be module-level
+functions.
+
+``parallel_map`` / ``run_cells`` / ``make_cells`` ship their callable
+to worker processes by pickle (docs/performance.md invariant 4), and
+the artifact store fingerprints it by ``module:qualname``
+(invariant 17). Lambdas, ``functools.partial`` objects, closures
+(functions defined inside another function) and bound methods either
+fail to pickle outright — but only on the multi-process path, so a
+single-CPU CI box never sees the crash — or carry state the
+fingerprint cannot see. This rule rejects them at the call site:
+
+* ``parallel_map(<fn>, items)`` — first argument;
+* ``run_cells(driver, <fn>, items)`` / ``make_cells`` — second;
+
+where ``<fn>`` is a lambda, a ``partial(...)`` call, a name bound to a
+nested ``def``/lambda in an enclosing function scope, or a
+``self.``/``cls.``-rooted attribute (bound method). Names this rule
+cannot resolve (parameters, imports) pass — no false positives on
+dispatch helpers that forward a worker they were handed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.lint.base import FileContext, Finding, Rule, register
+
+#: Callee name -> positional index of the worker argument.
+_TARGETS = {"parallel_map": 0, "run_cells": 1, "make_cells": 1}
+
+#: Keyword name of the worker argument at those call sites.
+_FN_KEYWORD = "fn"
+
+_FUNC_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _worker_arg(call: ast.Call) -> Optional[ast.AST]:
+    func = call.func
+    name = (func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None)
+    if name not in _TARGETS:
+        return None
+    idx = _TARGETS[name]
+    if len(call.args) > idx:
+        return call.args[idx]
+    for kw in call.keywords:
+        if kw.arg == _FN_KEYWORD:
+            return kw.value
+    return None
+
+
+def _own_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Nodes of ``scope``'s own body, not descending into nested
+    function definitions (those are their own scopes)."""
+    for child in ast.iter_child_nodes(scope):
+        yield child
+        if not isinstance(child, _FUNC_DEFS):
+            yield from _own_nodes(child)
+
+
+def _local_callables(scope: ast.AST) -> Set[str]:
+    """Names bound to defs or lambdas directly in ``scope``'s body."""
+    names: Set[str] = set()
+    for node in _own_nodes(scope):
+        if isinstance(node, _FUNC_DEFS):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign) \
+                and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+@register
+class PicklableWorkerRule(Rule):
+    id = "picklable-worker"
+    title = "parallel_map/run_cells workers are module-level functions"
+    invariant = ("docs/performance.md invariants 4 (picklable workers) "
+                 "and 17 (fn module:qualname joins the fingerprint)")
+    scope = "file"
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.is_python:
+            return
+        yield from self._visit(ctx, ctx.tree, closure_names=set())
+
+    def _visit(self, ctx: FileContext, scope: ast.AST,
+               closure_names: Set[str]) -> Iterator[Finding]:
+        """Check ``scope``; ``closure_names`` are callables that would be
+        closures if referenced here (defined in enclosing *functions* —
+        module-level defs never qualify)."""
+        if not isinstance(scope, ast.Module):
+            # A function's own nested defs are closures for calls both
+            # in its body and in deeper scopes.
+            closure_names = closure_names | _local_callables(scope)
+        for node in _own_nodes(scope):
+            if isinstance(node, _FUNC_DEFS):
+                inner = (closure_names if not isinstance(scope, ast.Module)
+                         else set())
+                yield from self._visit(ctx, node, inner)
+            elif isinstance(node, ast.Call):
+                worker = _worker_arg(node)
+                if worker is not None:
+                    names = (closure_names
+                             if not isinstance(scope, ast.Module) else set())
+                    finding = self._classify(ctx, worker, names)
+                    if finding is not None:
+                        yield finding
+
+    # ------------------------------------------------------------------
+    def _classify(self, ctx: FileContext, worker: ast.AST,
+                  closure_names: Set[str]) -> Optional[Finding]:
+        if isinstance(worker, ast.Lambda):
+            return self._finding(ctx, worker.lineno,
+                                 "a lambda cannot be pickled to worker "
+                                 "processes and has no stable qualname")
+        if isinstance(worker, ast.Call):
+            func = worker.func
+            name = (func.id if isinstance(func, ast.Name)
+                    else func.attr if isinstance(func, ast.Attribute)
+                    else None)
+            if name == "partial":
+                return self._finding(
+                    ctx, worker.lineno,
+                    "functools.partial carries bound state the "
+                    "fingerprint cannot see; use a module-level worker "
+                    "taking an args tuple")
+            return None
+        if isinstance(worker, ast.Name) and worker.id in closure_names:
+            return self._finding(
+                ctx, worker.lineno,
+                f"{worker.id!r} is defined inside an enclosing function "
+                "(a closure); move it to module level")
+        if isinstance(worker, ast.Attribute):
+            root = worker.value
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name) and root.id in ("self", "cls"):
+                return self._finding(
+                    ctx, worker.lineno,
+                    f"bound method {ast.unparse(worker)!r} pickles its "
+                    "instance (or fails to); use a module-level worker")
+        return None
+
+    def _finding(self, ctx: FileContext, line: int, why: str) -> Finding:
+        return Finding(ctx.path, line, self.id,
+                       f"worker must be a module-level function: {why}")

@@ -38,8 +38,9 @@ from __future__ import annotations
 import contextlib
 import multiprocessing
 import os
-import warnings
 from typing import Callable, Iterator, List, Optional, Sequence, Set, TypeVar
+
+from repro import config
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -74,25 +75,11 @@ def _env_workers() -> Optional[int]:
     ``0`` and ``1`` are legitimate force-serial settings. Anything that
     is not a non-negative integer (``""``, ``"-3"``, ``"abc"``) used to
     be silently swallowed — or worse, a negative value flowed through
-    ``min()`` and forced serial with no diagnostic. Now it warns once
-    per distinct value and is treated as unset.
+    ``min()`` and forced serial with no diagnostic. The shared helper
+    warns once per distinct value (registry owned here, reset by the
+    tests) and treats it as unset.
     """
-    raw = os.environ.get(MAX_WORKERS_ENV)
-    if raw is None:
-        return None
-    try:
-        value: Optional[int] = int(raw)
-    except ValueError:
-        value = None
-    if value is None or value < 0:
-        if raw not in _warned_env_values:
-            _warned_env_values.add(raw)
-            warnings.warn(
-                f"ignoring invalid {MAX_WORKERS_ENV}={raw!r} "
-                "(expected a non-negative integer)",
-                RuntimeWarning, stacklevel=3)
-        return None
-    return value
+    return config.env_nonneg_int(MAX_WORKERS_ENV, _warned_env_values)
 
 
 def _machine_workers() -> int:

@@ -1,0 +1,186 @@
+"""Framework tests: pragmas, suppression accounting, engine dispatch,
+and the command line."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import lint_sources
+from repro.lint.__main__ import main as lint_main
+from repro.lint.base import all_rules
+
+
+def _lint(source, rules=None, path="mod.py"):
+    return lint_sources({path: textwrap.dedent(source)}, rules=rules)
+
+
+CLOCK = """\
+    import time
+
+    def stamp():
+        return time.time()
+    """
+
+
+class TestSuppressions:
+
+    def test_same_line_pragma_suppresses(self):
+        res = _lint("""\
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: allow(determinism) -- meta
+            """)
+        assert res.clean
+
+    def test_standalone_line_above_suppresses(self):
+        res = _lint("""\
+            import time
+
+            def stamp():
+                # repro-lint: allow(determinism) -- metadata only
+                return time.time()
+            """)
+        assert res.clean
+
+    def test_unsuppressed_finding_reported(self):
+        res = _lint(CLOCK)
+        assert [f.rule for f in res.findings] == ["determinism"]
+        assert res.findings[0].line == 4
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        res = _lint("""\
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: allow(env-gate) -- nope
+            """)
+        rules = {f.rule for f in res.findings}
+        # the read still fires AND the pragma is reported as unused
+        assert "determinism" in rules
+        assert "unused-suppression" in rules
+
+    def test_unused_pragma_is_a_finding(self):
+        res = _lint("""\
+            x = 1  # repro-lint: allow(determinism) -- stale claim
+            """)
+        assert [f.rule for f in res.findings] == ["unused-suppression"]
+
+    def test_unused_pragma_not_reported_when_rule_filtered_out(self):
+        # Only env-gate ran; a determinism pragma might be load-bearing
+        # for the rules that did not run, so it must not be flagged.
+        res = _lint("""\
+            x = 1  # repro-lint: allow(determinism) -- checked elsewhere
+            """, rules=["env-gate"])
+        assert res.clean
+
+    def test_malformed_pragma_is_a_finding(self):
+        res = _lint("""\
+            x = 1  # repro-lint: allow determinism
+            """)
+        assert [f.rule for f in res.findings] == ["pragma"]
+
+    def test_pragma_without_reason_is_malformed(self):
+        res = _lint("""\
+            x = 1  # repro-lint: allow(determinism)
+            """)
+        assert [f.rule for f in res.findings] == ["pragma"]
+
+    def test_multi_rule_pragma(self):
+        res = _lint("""\
+            import os
+            import time
+
+            def probe():
+                # repro-lint: allow(determinism, env-gate) -- diag probe
+                return time.time(), os.getenv("REPRO_NATIVE")
+            """)
+        assert res.clean
+
+    def test_pragma_in_docstring_is_documentation(self):
+        # Pragmas live in comments; mentioning one in a docstring or a
+        # string literal must neither suppress nor count as unused.
+        res = _lint('''\
+            """Suppress with: # repro-lint: allow(determinism) -- why."""
+            PATTERN = "repro-lint: allow(x) -- malformed ( example"
+            ''')
+        assert res.clean
+
+    def test_syntax_error_reported_as_parse_finding(self):
+        res = _lint("def broken(:\n")
+        assert [f.rule for f in res.findings] == ["parse"]
+
+
+class TestEngine:
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            _lint("x = 1\n", rules=["no-such-rule"])
+
+    def test_rules_filter_limits_findings(self):
+        source = """\
+            import os
+            import time
+
+            T = time.time()
+            V = os.environ.get("REPRO_NATIVE")
+            """
+        assert {f.rule for f in _lint(source).findings} == {
+            "determinism", "env-gate"}
+        only = _lint(source, rules=["env-gate"])
+        assert {f.rule for f in only.findings} == {"env-gate"}
+
+    def test_findings_sorted_by_location(self):
+        res = lint_sources({
+            "b.py": "import time\nT = time.time()\n",
+            "a.py": "import time\nT = time.time()\n",
+        })
+        assert [f.path for f in res.findings] == ["a.py", "b.py"]
+
+    def test_c_sources_are_scanned_for_pragmas(self):
+        res = lint_sources({
+            "x.c": "// repro-lint: allow(determinism) -- stale\nint x;\n"})
+        assert [f.rule for f in res.findings] == ["unused-suppression"]
+
+    def test_registry_has_the_six_documented_rules(self):
+        assert list(all_rules()) == [
+            "determinism", "native-abi", "flush-hook",
+            "fingerprint-coverage", "env-gate", "picklable-worker"]
+        for rule in all_rules().values():
+            assert rule.title and rule.invariant
+
+
+class TestCli:
+
+    def test_list_rules_exits_zero(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "determinism" in out and "native-abi" in out
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert lint_main([str(good)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one_and_render_location(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nT = time.time()\n")
+        assert lint_main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert f"{bad}:2: [determinism]" in out
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        (tmp_path / "x.py").write_text("x = 1\n")
+        assert lint_main(["--rules", "bogus", str(tmp_path)]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "absent")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_directory_collection_recurses(self, tmp_path, capsys):
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        (sub / "bad.py").write_text("import time\nT = time.time()\n")
+        assert lint_main([str(tmp_path)]) == 1

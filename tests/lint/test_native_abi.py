@@ -1,0 +1,159 @@
+"""native-abi rule: the C parser and compiler-free drift detection.
+
+The acceptance property: mutating a *copy* of the real sources — two
+rk_state mirror fields reordered, or one field's type changed — makes
+the rule fire, with no C compiler involved anywhere.
+"""
+
+import re
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_sources
+from repro.lint.c_abi import CParseError, parse_struct, strip_comments
+
+KERNEL_PY = Path(__file__).resolve().parents[2] \
+    / "src/repro/core/_native/kernel.py"
+NATIVE_C = Path(__file__).resolve().parents[2] \
+    / "src/repro/core/_native/rubik_native.c"
+
+
+def abi_findings(sources):
+    res = lint_sources(sources, rules=["native-abi"])
+    return [f for f in res.findings if f.rule == "native-abi"]
+
+
+MINI_C = textwrap.dedent("""\
+    /* minimal mirror fixture */
+    typedef struct {
+        double now;
+        i64 decisions;
+        double *grid;
+        double unacct[8];
+    } rk_state;
+    """)
+
+MINI_PY = textwrap.dedent("""\
+    import ctypes
+
+    _DP = ctypes.POINTER(ctypes.c_double)
+
+    class RKState(ctypes.Structure):
+        _fields_ = [
+            ("now", ctypes.c_double),
+            ("decisions", ctypes.c_int64),
+            ("grid", _DP),
+            ("unacct", ctypes.c_double * 8),
+        ]
+    """)
+
+
+class TestCParser:
+
+    def test_parses_fields_in_order(self):
+        struct = parse_struct(MINI_C)
+        assert [(f.name, f.ctype) for f in struct.fields] == [
+            ("now", "double"), ("decisions", "i64"),
+            ("grid", "double*"), ("unacct", "double[8]")]
+
+    def test_strip_comments_preserves_offsets(self):
+        src = "int a; /* gone */ int b;\n// line\nint c;\n"
+        stripped = strip_comments(src)
+        originals = src.splitlines()
+        assert len(stripped) == len(originals)
+        assert [len(s) for s in stripped] == [len(o) for o in originals]
+        assert "gone" not in "".join(stripped)
+        assert stripped[2] == "int c;"
+        # code after a block comment survives at its original column
+        assert stripped[0].index("int b;") == originals[0].index("int b;")
+
+    def test_commented_out_field_ignored(self):
+        src = MINI_C.replace("i64 decisions;",
+                             "i64 decisions;\n    /* double old; */")
+        names = [f.name for f in parse_struct(src).fields]
+        assert "old" not in names and "decisions" in names
+
+    def test_unknown_member_type_raises(self):
+        bad = MINI_C.replace("i64 decisions;", "int decisions;")
+        with pytest.raises(CParseError, match="decisions"):
+            parse_struct(bad)
+
+    def test_missing_struct_returns_none(self):
+        assert parse_struct("int main(void) { return 0; }\n") is None
+
+
+class TestMirrorComparison:
+
+    def test_matching_fixture_clean(self):
+        assert not abi_findings({"k.py": MINI_PY, "n.c": MINI_C})
+
+    def test_name_drift(self):
+        drifted = MINI_PY.replace('"decisions"', '"decision_count"')
+        found = abi_findings({"k.py": drifted, "n.c": MINI_C})
+        assert any("name drift" in f.message for f in found)
+
+    def test_type_drift(self):
+        drifted = MINI_PY.replace('("grid", _DP)',
+                                  '("grid", ctypes.POINTER(ctypes.c_int64))')
+        found = abi_findings({"k.py": drifted, "n.c": MINI_C})
+        assert any("type drift" in f.message and "'grid'" in f.message
+                   for f in found)
+
+    def test_count_drift(self):
+        drifted = MINI_PY.replace(
+            '("unacct", ctypes.c_double * 8),\n', "")
+        found = abi_findings({"k.py": drifted, "n.c": MINI_C})
+        assert any("count drift" in f.message for f in found)
+
+    def test_array_length_drift(self):
+        drifted = MINI_PY.replace("ctypes.c_double * 8",
+                                  "ctypes.c_double * 4")
+        found = abi_findings({"k.py": drifted, "n.c": MINI_C})
+        assert any("'unacct'" in f.message for f in found)
+
+    def test_missing_c_side_reported(self):
+        found = abi_findings({"k.py": MINI_PY})
+        assert found and "no C source" in found[0].message
+
+    def test_missing_py_side_reported(self):
+        found = abi_findings({"n.c": MINI_C})
+        assert found and "no ctypes" in found[0].message
+
+
+class TestRealSources:
+    """Drift detection against copies of the actual repo sources —
+    the no-compiler guarantee the runtime size guard cannot give."""
+
+    @pytest.fixture()
+    def real(self):
+        return {"kernel.py": KERNEL_PY.read_text(),
+                "rubik_native.c": NATIVE_C.read_text()}
+
+    def test_real_pair_is_clean(self, real):
+        assert not abi_findings(real)
+
+    def test_swapping_two_mirror_fields_fires(self, real):
+        lines = real["kernel.py"].splitlines(keepends=True)
+        adjacent = [i for i in range(len(lines) - 1)
+                    if '", ctypes.c_double)' in lines[i]
+                    and '", ctypes.c_double)' in lines[i + 1]]
+        assert adjacent, "fixture rot: no adjacent c_double pair"
+        i = adjacent[0]
+        swapped = lines[:i] + [lines[i + 1], lines[i]] + lines[i + 2:]
+        found = abi_findings({"kernel.py": "".join(swapped),
+                              "rubik_native.c": real["rubik_native.c"]})
+        # both positions drift: the swap cannot be shadowed
+        assert sum("name drift" in f.message for f in found) == 2
+
+    def test_type_mutation_in_c_copy_fires(self, real):
+        m = re.search(r"^(\s*)double (\w+);", real["rubik_native.c"],
+                      re.MULTILINE)
+        assert m, "fixture rot: no plain double field in rk_state"
+        mutated = real["rubik_native.c"].replace(
+            m.group(0), f"{m.group(1)}i64 {m.group(2)};", 1)
+        found = abi_findings({"kernel.py": real["kernel.py"],
+                              "rubik_native.c": mutated})
+        assert any("type drift" in f.message and m.group(2) in f.message
+                   for f in found)

@@ -1,0 +1,354 @@
+"""Per-rule unit tests over in-memory snippets: at least one firing and
+one silent case per checker (the native-abi rule has its own module)."""
+
+import textwrap
+
+from repro.lint import lint_sources
+
+
+def findings(rule, source, path="mod.py", extra_sources=None):
+    sources = {path: textwrap.dedent(source)}
+    if extra_sources:
+        sources.update(extra_sources)
+    res = lint_sources(sources, rules=[rule])
+    return [f for f in res.findings if f.rule == rule]
+
+
+class TestDeterminism:
+    RULE = "determinism"
+
+    def test_wall_clock_fires(self):
+        found = findings(self.RULE, """\
+            import time
+            T = time.time()
+            """)
+        assert len(found) == 1 and found[0].line == 2
+        assert "time.time" in found[0].message
+
+    def test_datetime_now_fires(self):
+        assert findings(self.RULE, """\
+            import datetime
+            N = datetime.datetime.now()
+            """)
+
+    def test_simulated_clock_silent(self):
+        assert not findings(self.RULE, """\
+            def advance(core, dt):
+                core.now += dt
+                return core.now
+            """)
+
+    def test_global_random_fires(self):
+        found = findings(self.RULE, """\
+            import random
+            X = random.random()
+            """)
+        assert found and "global random" in found[0].message
+
+    def test_local_name_random_silent(self):
+        # No `import random`: a local object named random is fine.
+        assert not findings(self.RULE, """\
+            def f(random):
+                return random.random()
+            """)
+
+    def test_np_legacy_rng_fires(self):
+        assert findings(self.RULE, """\
+            import numpy as np
+            X = np.random.rand(3)
+            """)
+
+    def test_unseeded_default_rng_fires(self):
+        assert findings(self.RULE, """\
+            import numpy as np
+            RNG = np.random.default_rng()
+            """)
+
+    def test_seeded_default_rng_silent(self):
+        assert not findings(self.RULE, """\
+            import numpy as np
+            RNG = np.random.default_rng(1234)
+            """)
+
+    def test_unsorted_listdir_fires(self):
+        assert findings(self.RULE, """\
+            import os
+            def entries(d):
+                return [x for x in os.listdir(d)]
+            """)
+
+    def test_sorted_listdir_silent(self):
+        assert not findings(self.RULE, """\
+            import os
+            def entries(d):
+                return sorted(os.listdir(d))
+            """)
+
+    def test_unsorted_iterdir_fires(self):
+        assert findings(self.RULE, """\
+            def entries(root):
+                for p in root.iterdir():
+                    yield p
+            """)
+
+    def test_sorted_glob_silent(self):
+        assert not findings(self.RULE, """\
+            def entries(root):
+                for p in sorted(root.glob("*.pkl")):
+                    yield p
+            """)
+
+    def test_set_literal_iteration_fires(self):
+        assert findings(self.RULE, """\
+            def f():
+                for x in {1, 2, 3}:
+                    print(x)
+            """)
+
+    def test_set_call_in_comprehension_fires(self):
+        assert findings(self.RULE, """\
+            def f(items):
+                return [x for x in set(items)]
+            """)
+
+    def test_sorted_set_iteration_silent(self):
+        assert not findings(self.RULE, """\
+            def f(items):
+                for x in sorted(set(items)):
+                    print(x)
+            """)
+
+
+class TestEnvGate:
+    RULE = "env-gate"
+
+    def test_environ_get_literal_fires(self):
+        found = findings(self.RULE, """\
+            import os
+            V = os.environ.get("REPRO_THING")
+            """)
+        assert found and "REPRO_THING" in found[0].message
+
+    def test_getenv_fires(self):
+        assert findings(self.RULE, """\
+            import os
+            V = os.getenv("REPRO_THING")
+            """)
+
+    def test_subscript_fires(self):
+        assert findings(self.RULE, """\
+            import os
+            V = os.environ["REPRO_THING"]
+            """)
+
+    def test_module_constant_key_fires(self):
+        assert findings(self.RULE, """\
+            import os
+            THING_ENV = "REPRO_THING"
+            V = os.environ.get(THING_ENV)
+            """)
+
+    def test_non_repro_variable_silent(self):
+        assert not findings(self.RULE, """\
+            import os
+            V = os.environ.get("HOME")
+            """)
+
+    def test_helper_module_is_exempt(self):
+        assert not findings(self.RULE, """\
+            import os
+            V = os.environ.get("REPRO_THING")
+            """, path="src/repro/config.py")
+
+
+class TestPicklableWorker:
+    RULE = "picklable-worker"
+
+    def test_lambda_fires(self):
+        found = findings(self.RULE, """\
+            def sweep(items):
+                return parallel_map(lambda x: x + 1, items)
+            """)
+        assert found and "lambda" in found[0].message
+
+    def test_partial_fires(self):
+        assert findings(self.RULE, """\
+            from functools import partial
+
+            def sweep(items, k):
+                return parallel_map(partial(work, k), items)
+            """)
+
+    def test_closure_fires(self):
+        found = findings(self.RULE, """\
+            def sweep(items):
+                def point(x):
+                    return x + 1
+                return parallel_map(point, items)
+            """)
+        assert found and "closure" in found[0].message
+
+    def test_bound_method_fires(self):
+        assert findings(self.RULE, """\
+            class Driver:
+                def sweep(self, items):
+                    return parallel_map(self.point, items)
+            """)
+
+    def test_run_cells_checks_second_positional(self):
+        assert findings(self.RULE, """\
+            def sweep(items):
+                return run_cells("fig06", lambda x: x, items)
+            """)
+
+    def test_fn_keyword_checked(self):
+        assert findings(self.RULE, """\
+            def sweep(items):
+                return parallel_map(items=items, fn=lambda x: x)
+            """)
+
+    def test_module_level_worker_silent(self):
+        assert not findings(self.RULE, """\
+            def point(x):
+                return x + 1
+
+            def sweep(items):
+                return parallel_map(point, items)
+            """)
+
+    def test_forwarded_parameter_silent(self):
+        # A dispatch helper forwarding a worker it was handed must pass:
+        # the callable is checked at the site that names it.
+        assert not findings(self.RULE, """\
+            def dispatch(fn, items):
+                return parallel_map(fn, items)
+            """)
+
+
+class TestFlushHook:
+    RULE = "flush-hook"
+
+    def test_read_without_flush_fires(self):
+        found = findings(self.RULE, """\
+            def probe(core):
+                return core.meter.energy_j
+            """)
+        assert found and "flush" in found[0].message
+
+    def test_segment_log_fires(self):
+        assert findings(self.RULE, """\
+            def probe(core):
+                return len(core.segment_log)
+            """)
+
+    def test_dvfs_history_fires(self):
+        assert findings(self.RULE, """\
+            def probe(core):
+                return core.dvfs.history[-1]
+            """)
+
+    def test_flush_before_read_silent(self):
+        assert not findings(self.RULE, """\
+            def probe(core):
+                core.flush_accounting()
+                return core.meter.energy_j
+            """)
+
+    def test_finalize_before_read_silent(self):
+        assert not findings(self.RULE, """\
+            def probe(cores):
+                for c in cores:
+                    c.finalize()
+                return sum(c.meter.energy_j for c in cores)
+            """)
+
+    def test_read_before_flush_still_fires(self):
+        found = findings(self.RULE, """\
+            def probe(core):
+                early = core.meter.energy_j
+                core.flush_accounting()
+                return early
+            """)
+        assert found and found[0].line == 2
+
+    def test_self_reads_exempt(self):
+        assert not findings(self.RULE, """\
+            class Core:
+                def energy(self):
+                    return self.meter.energy_j
+            """)
+
+    def test_result_annotated_param_exempt(self):
+        assert not findings(self.RULE, """\
+            def series(run: RunResult):
+                return run.segment_log
+            """)
+
+    def test_run_trace_local_exempt(self):
+        assert not findings(self.RULE, """\
+            def evaluate(trace):
+                run = run_trace(trace)
+                return run.segment_log
+            """)
+
+    def test_owner_modules_whitelisted(self):
+        assert not findings(self.RULE, """\
+            def flush_accounting(core):
+                return core.meter
+            """, path="src/repro/sim/core.py")
+
+
+class TestFingerprintCoverage:
+    RULE = "fingerprint-coverage"
+
+    CONFIG = """\
+        import dataclasses
+
+        @dataclasses.dataclass(frozen=True)
+        class DriverConfig:
+            name: str
+            loads: tuple = ()
+            seeds: tuple = ()
+        """
+
+    def test_unread_field_fires(self):
+        consumer = "def use(cfg):\n    return cfg.name, cfg.loads\n"
+        found = findings(self.RULE, self.CONFIG, path="configs.py",
+                         extra_sources={"driver.py": consumer,
+                                        "fp.py": self.FINGERPRINT})
+        assert len(found) == 1
+        assert "'seeds'" in found[0].message
+        assert found[0].path == "configs.py"
+
+    def test_all_fields_read_silent(self):
+        consumer = ("def use(cfg):\n"
+                    "    return cfg.name, cfg.loads, cfg.seeds\n")
+        assert not findings(self.RULE, self.CONFIG, path="configs.py",
+                            extra_sources={"driver.py": consumer,
+                                           "fp.py": self.FINGERPRINT})
+
+    FINGERPRINT = textwrap.dedent("""\
+        def cell_fingerprint(driver, version, fn, args):
+            payload = (
+                ("schema", 1),
+                ("driver", driver),
+                ("version", version),
+                ("fn", fn.__qualname__),
+                ("kernel", "native"),
+                ("args", args),
+            )
+            return hash(payload)
+        """)
+
+    def test_dropped_payload_key_fires(self):
+        dropped = self.FINGERPRINT.replace('("kernel", "native"),\n', "")
+        consumer = ("def use(cfg):\n"
+                    "    return cfg.name, cfg.loads, cfg.seeds\n")
+        found = findings(self.RULE, self.CONFIG, path="configs.py",
+                         extra_sources={"driver.py": consumer,
+                                        "fp.py": dropped})
+        assert len(found) == 1
+        assert "'kernel'" in found[0].message and found[0].path == "fp.py"
+
+    def test_complete_payload_silent(self):
+        assert not findings(self.RULE, self.FINGERPRINT, path="fp.py")

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import config
 from repro.config import (
     CmpConfig,
     DEFAULT_CMP,
@@ -106,3 +107,76 @@ class TestCmpConfig:
     def test_rejects_bad_tdp(self):
         with pytest.raises(ValueError):
             CmpConfig(tdp_watts=-1)
+
+
+class TestEnvGateHelpers:
+    """The shared REPRO_* validation helpers the per-module gates
+    delegate to (consolidated from three near-identical blocks in
+    perf.parallel, core._native.build, and experiments.artifacts)."""
+
+    def test_nonneg_int_parses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_INT", "4")
+        assert config.env_nonneg_int("REPRO_TEST_INT", set()) == 4
+
+    def test_nonneg_int_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_INT", raising=False)
+        assert config.env_nonneg_int("REPRO_TEST_INT", set()) is None
+
+    @pytest.mark.parametrize("raw", ["", "-3", "abc"])
+    def test_nonneg_int_invalid_warns_with_original_text(
+            self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TEST_INT", raw)
+        with pytest.warns(RuntimeWarning,
+                          match=r"ignoring invalid REPRO_TEST_INT"
+                                r".*non-negative integer"):
+            assert config.env_nonneg_int("REPRO_TEST_INT", set()) is None
+
+    def test_tristate_accepts_modes_case_insensitively(self, monkeypatch):
+        for raw, want in [("1", "1"), ("0", "0"), ("AUTO", "auto"),
+                          (" auto ", "auto")]:
+            monkeypatch.setenv("REPRO_TEST_TRI", raw)
+            assert config.env_tristate("REPRO_TEST_TRI", set()) == want
+
+    def test_tristate_invalid_warns_and_reads_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_TRI", "yes")
+        with pytest.warns(RuntimeWarning,
+                          match=r"expected '1', '0', or 'auto'"):
+            assert config.env_tristate("REPRO_TEST_TRI", set()) == "auto"
+
+    def test_path_expands_user(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_DIR", "~/stores")
+        got = config.env_path("REPRO_TEST_DIR", ".default", set())
+        assert "~" not in str(got)
+
+    def test_path_blank_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_DIR", "   ")
+        with pytest.warns(RuntimeWarning, match="expected a directory path"):
+            got = config.env_path("REPRO_TEST_DIR", ".default", set())
+        assert str(got) == ".default"
+
+    def test_warn_once_per_distinct_value_in_caller_registry(
+            self, monkeypatch, recwarn):
+        import warnings as warnings_mod
+        registry = set()
+        monkeypatch.setenv("REPRO_TEST_TRI", "bogus")
+        with pytest.warns(RuntimeWarning):
+            config.env_tristate("REPRO_TEST_TRI", registry)
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            # Same raw value, same registry: silent.
+            assert config.env_tristate("REPRO_TEST_TRI", registry) == "auto"
+        # A distinct raw value warns again.
+        monkeypatch.setenv("REPRO_TEST_TRI", "bogus2")
+        with pytest.warns(RuntimeWarning):
+            config.env_tristate("REPRO_TEST_TRI", registry)
+
+    def test_registries_are_per_variable_keyed(self, monkeypatch):
+        # One shared registry can serve several variables: keys carry
+        # the variable name, so the same raw value warns per variable.
+        registry = set()
+        monkeypatch.setenv("REPRO_TEST_A", "bogus")
+        monkeypatch.setenv("REPRO_TEST_B", "bogus")
+        with pytest.warns(RuntimeWarning, match="REPRO_TEST_A"):
+            config.env_tristate("REPRO_TEST_A", registry)
+        with pytest.warns(RuntimeWarning, match="REPRO_TEST_B"):
+            config.env_tristate("REPRO_TEST_B", registry)
