@@ -37,6 +37,12 @@ the repo's history:
   persists) then warm (every cell replays from disk), with the store's
   hit/miss/put counters for both runs. The headline is the warm wall: a
   fully-cached regeneration must recompute zero cells.
+* ``resilience``: the PR 9 resilient executor — a fig06-shaped cell
+  sweep through plain ``parallel_map`` and then ``resilient_map`` under
+  the default ``RetryPolicy`` with no fault plan active. The guard is
+  the contract, not a speedup: bitwise-identical results, all-zero
+  retry/failure/rebuild counters, and small overhead over the baseline
+  dispatch.
 
 Usage::
 
@@ -75,15 +81,16 @@ from repro.core.profiler import DemandProfiler
 from repro.core.table_cache import TABLE_CACHE
 from repro.core.tail_tables import TargetTailTables
 from repro.experiments import artifacts, runner
-from repro.experiments.common import latency_bound, make_context
+from repro.experiments.common import _compare_seed, latency_bound, make_context
 from repro.experiments.fig09_load_sweep import run_load_sweep
-from repro.perf import pools_created
+from repro.perf import parallel_map, pools_created
+from repro.resilience import RetryPolicy, SweepStats, faults, resilient_map
 from repro.sim.server import run_trace
 from repro.sim.trace import Trace
 from repro.workloads.apps import APPS
 
 #: Which PR this bench file tracks (bump per perf-relevant PR).
-PR_NUMBER = 7
+PR_NUMBER = 9
 
 #: Seed-measured reference numbers for the same workloads, recorded on
 #: the machine that produced BENCH_PR1.json before the PR 1 fast paths
@@ -158,6 +165,18 @@ PR6_BASELINE = {
     "regenerate_s": 6.873982521000471,
 }
 
+#: PR 7's recorded numbers (BENCH_PR7.json); PR 8 (the invariant
+#: checker) recorded no point — lint runs beside the hot paths, not in
+#: them. PR 9's lever is robustness, not speed: the resilient executor
+#: is opt-in, so the tracked walls should hold steady and the new
+#: ``resilience`` section guards that a fault-free ``resilient_map`` is
+#: bitwise-identical to ``parallel_map`` at small overhead.
+PR7_BASELINE = {
+    "rubik_run_s": 0.0265515190003498,
+    "load_sweep_s": 1.1242870790001689,
+    "regenerate_s": 7.254527476000476,
+}
+
 #: Events-per-request ceiling for the Rubik run: one arrival + one
 #: completion per request and nothing else (DVFS transitions no longer
 #: consume simulator events). The perf_smoke guard fails if event churn
@@ -175,6 +194,7 @@ FULL = {
     "sweep_requests": 4000,
     "regen_experiments": ("fig06", "table1", "ablations"),
     "regen_requests": 800,
+    "resilience_requests": 400,
     "snapshot_iters": 300,
 }
 QUICK = {
@@ -185,6 +205,7 @@ QUICK = {
     "sweep_requests": 1200,
     "regen_experiments": ("table1", "ablations"),
     "regen_requests": 600,
+    "resilience_requests": 200,
     "snapshot_iters": 60,
 }
 
@@ -267,6 +288,7 @@ def bench_controller_events(num_requests: int, load: float,
         out["speedup_vs_pr4"] = PR4_BASELINE["rubik_run_s"] / wall
         out["speedup_vs_pr5"] = PR5_BASELINE["rubik_run_s"] / wall
         out["speedup_vs_pr6"] = PR6_BASELINE["rubik_run_s"] / wall
+        out["speedup_vs_pr7"] = PR7_BASELINE["rubik_run_s"] / wall
         out["events_vs_pr1"] = (result.events_processed
                                 / PR1_BASELINE["rubik_run_events"])
     return out
@@ -288,6 +310,7 @@ def bench_load_sweep(loads, num_requests: int) -> Dict[str, float]:
         out["speedup_vs_pr4"] = PR4_BASELINE["load_sweep_s"] / wall
         out["speedup_vs_pr5"] = PR5_BASELINE["load_sweep_s"] / wall
         out["speedup_vs_pr6"] = PR6_BASELINE["load_sweep_s"] / wall
+        out["speedup_vs_pr7"] = PR7_BASELINE["load_sweep_s"] / wall
     return out
 
 
@@ -328,6 +351,7 @@ def bench_regenerate(experiments, num_requests: int) -> Dict[str, float]:
         out["speedup_vs_pr4"] = PR4_BASELINE["regenerate_s"] / wall
         out["speedup_vs_pr5"] = PR5_BASELINE["regenerate_s"] / wall
         out["speedup_vs_pr6"] = PR6_BASELINE["regenerate_s"] / wall
+        out["speedup_vs_pr7"] = PR7_BASELINE["regenerate_s"] / wall
     return out
 
 
@@ -368,6 +392,48 @@ def bench_regenerate_cached(experiments, num_requests: int) -> Dict:
         "cold": {k: cold[k] for k in counter_keys},
         "warm": {k: warm[k] for k in counter_keys},
         "warm_per_driver": warm["per_driver"],
+    }
+
+
+def bench_resilience(num_requests: int) -> Dict:
+    """The PR 9 resilient executor: fault-free cost of the hardening.
+
+    Runs the same fig06-shaped cell list through plain ``parallel_map``
+    and then :func:`repro.resilience.resilient_map` under the default
+    :class:`~repro.resilience.RetryPolicy` with no fault plan active
+    (the section records that, so a trajectory point taken with
+    ``REPRO_FAULT_PLAN`` exported is self-incriminating). The
+    ``perf_smoke`` guard pins the contract: bitwise-identical results,
+    all-zero executor counters, small dispatch overhead. A warm-up pass
+    runs first so both timed passes see the same warm table cache.
+    """
+    points = [(APPS[name], load, BENCH_SEED, num_requests, ("Rubik",))
+              for name in ("masstree", "xapian") for load in (0.3, 0.5)]
+    parallel_map(_compare_seed, points)  # warm caches for both passes
+
+    t0 = time.perf_counter()
+    baseline = parallel_map(_compare_seed, points)
+    baseline_wall = time.perf_counter() - t0
+
+    stats = SweepStats()
+    t0 = time.perf_counter()
+    hardened = resilient_map(_compare_seed, points,
+                             policy=RetryPolicy(), stats=stats)
+    resilient_wall = time.perf_counter() - t0
+
+    return {
+        "points": len(points),
+        "fault_plan_active": faults.active_plan() is not None,
+        "baseline_wall_s": baseline_wall,
+        "resilient_wall_s": resilient_wall,
+        "overhead_vs_baseline": resilient_wall / baseline_wall,
+        "identical": hardened == baseline,
+        "retries": stats.retries,
+        "failures": stats.failures,
+        "timeouts": stats.timeouts,
+        "worker_losses": stats.worker_losses,
+        "pool_rebuilds": stats.pool_rebuilds,
+        "degraded_serial": stats.degraded_serial,
     }
 
 
@@ -624,6 +690,7 @@ def run_benchmarks(quick: bool = False) -> Dict:
         "pr4_baseline": PR4_BASELINE,
         "pr5_baseline": PR5_BASELINE,
         "pr6_baseline": PR6_BASELINE,
+        "pr7_baseline": PR7_BASELINE,
         "table_build": bench_table_build(cfg["table_reps"]),
         "controller_events": bench_controller_events(
             cfg["run_requests"], cfg["run_load"]),
@@ -633,6 +700,7 @@ def run_benchmarks(quick: bool = False) -> Dict:
             cfg["regen_experiments"], cfg["regen_requests"]),
         "regenerate_cached": bench_regenerate_cached(
             cfg["regen_experiments"], cfg["regen_requests"]),
+        "resilience": bench_resilience(cfg["resilience_requests"]),
         "refresh_churn": bench_refresh_churn(
             cfg["run_requests"], cfg["run_load"], cfg["snapshot_iters"]),
         "decision_kernel": bench_decision_kernel(

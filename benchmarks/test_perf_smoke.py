@@ -34,7 +34,7 @@ def test_quick_bench_emits_trajectory_point(tmp_path):
     lint = results["lint"]
     assert lint["clean"], "\n".join(lint["findings"])
     assert lint["files_scanned"] > 50
-    assert len(lint["rules_run"]) == 6
+    assert len(lint["rules_run"]) == 7
 
     # Schema: every tracked section is present with sane values.
     table = results["table_build"]
@@ -192,6 +192,24 @@ def test_quick_bench_emits_trajectory_point(tmp_path):
     assert rc["warm_wall_s"] <= 0.2 * rc["cold_wall_s"], (
         f"warm regeneration took {rc['warm_wall_s']:.3f}s vs cold "
         f"{rc['cold_wall_s']:.3f}s; cached replay must be >=5x faster")
+
+    # Resilience guards (PR 9). The hardened executor is opt-in, so its
+    # fault-free path must be a bitwise no-op: identical results to
+    # plain parallel_map, every retry/failure/rebuild counter at zero,
+    # no ambient fault plan leaking in from the environment, and the
+    # per-cell dispatch overhead within noise of the baseline batch.
+    res = results["resilience"]
+    assert res["points"] > 0
+    assert res["fault_plan_active"] is False, (
+        "a REPRO_FAULT_PLAN was active while recording a bench point")
+    assert res["identical"] is True, (
+        "fault-free resilient_map diverged bitwise from parallel_map")
+    assert (res["retries"], res["failures"], res["timeouts"],
+            res["worker_losses"], res["pool_rebuilds"]) == (0,) * 5
+    assert res["degraded_serial"] is False
+    assert res["overhead_vs_baseline"] < 2.0, (
+        f"resilient dispatch cost {res['overhead_vs_baseline']:.2f}x "
+        "the plain sweep on the fault-free path")
 
     # The seed reference the trajectory is measured against is recorded
     # alongside every point.

@@ -242,6 +242,25 @@ def env_tristate(var: str, warned: Set, *, stacklevel: int = 3) -> str:
     return "auto"
 
 
+def env_str(var: str, warned: Set, *, stacklevel: int = 3) -> Optional[str]:
+    """Validated free-form-string gate (``REPRO_FAULT_PLAN``).
+
+    Unset reads as ``None``. Only an empty/whitespace-only value is
+    invalid here — it warns once and reads as unset; any other content
+    is returned verbatim for the caller to parse (callers apply their
+    own grammar with the same warn-once contract at the call site, the
+    way :func:`repro.resilience.faults.env_plan` does).
+    """
+    raw = os.environ.get(var)
+    if raw is None:
+        return None
+    if not raw.strip():
+        _warn_once(var, raw, "expected a non-empty value", warned,
+                   stacklevel)
+        return None
+    return raw
+
+
 def env_path(var: str, default: str, warned: Set, *,
              stacklevel: int = 3) -> Path:
     """Validated directory-path gate (``REPRO_ARTIFACT_DIR``).

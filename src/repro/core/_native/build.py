@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Dict, Optional, Set
 
 from repro import config
+from repro.resilience import faults
 
 #: Environment toggle for the native decision/event kernel.
 NATIVE_ENV = "REPRO_NATIVE"
@@ -148,6 +149,9 @@ def load_library() -> Optional[ctypes.CDLL]:
     # repro-lint: allow(determinism) -- build-time diagnostic only
     t0 = time.perf_counter()
     try:
+        # Injected load failure (InjectedFault is a RuntimeError, so it
+        # rides the existing warn-once fallback to the Python kernel).
+        faults.maybe_inject("native.load_fail")
         path = ensure_built()
         lib = ctypes.CDLL(str(path))
         # Sanity-check the ABI before trusting the struct mirror.

@@ -55,6 +55,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple
 import numpy as np
 
 from repro import config
+from repro.resilience import faults
 
 #: Environment variable naming the store root directory.
 ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"
@@ -69,6 +70,12 @@ DEFAULT_ARTIFACT_DIR = ".repro-artifacts"
 #: include it): raise on any change to the canonical encoding or the
 #: on-disk layout.
 STORE_SCHEMA_VERSION = 1
+
+#: A ``.*.tmp`` staging file this old at store open is an orphan — its
+#: writer died between tmp-write and the atomic ``os.replace`` — and is
+#: swept. Generous relative to any real write (a cell pickle lands in
+#: milliseconds), so a concurrent writer's live tmp is never touched.
+STALE_TMP_AGE_S = 60.0
 
 #: Invalid env values already warned about ((var, raw) — once each).
 _warned_env_values: Set[Tuple[str, str]] = set()
@@ -194,7 +201,36 @@ class ArtifactStore:
         self.misses = 0
         self.puts = 0
         self.errors = 0
+        self.stale_tmps_removed = 0
         self.per_driver: Dict[str, Dict[str, int]] = {}
+        self._sweep_stale_tmps()
+
+    def _sweep_stale_tmps(self) -> None:
+        """Remove orphaned ``.*.tmp`` staging files at store open.
+
+        A writer killed between tmp-write and ``os.replace`` leaks its
+        temp file forever (the in-process cleanup only covers raising
+        paths, not SIGKILL). Files older than :data:`STALE_TMP_AGE_S`
+        cannot belong to a live writer, so they are deleted — one
+        summary warning, counted in :meth:`stats`.
+        """
+        if not self.root.is_dir():
+            return
+        # repro-lint: allow(determinism) -- tmp-age housekeeping only
+        cutoff = time.time() - STALE_TMP_AGE_S
+        removed = 0
+        for tmp in sorted(self.root.glob("*/.*.tmp")):
+            try:
+                if tmp.stat().st_mtime <= cutoff:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                continue  # raced with a concurrent sweep/writer
+        if removed:
+            self.stale_tmps_removed += removed
+            warnings.warn(
+                f"swept {removed} orphaned artifact tmp file(s) "
+                f"under {self.root}", RuntimeWarning, stacklevel=3)
 
     # -- paths -----------------------------------------------------------
 
@@ -219,6 +255,7 @@ class ArtifactStore:
             "misses": self.misses,
             "puts": self.puts,
             "errors": self.errors,
+            "stale_tmps_removed": self.stale_tmps_removed,
             "per_driver": {d: dict(row)
                            for d, row in self.per_driver.items()},
         }
@@ -235,6 +272,10 @@ class ArtifactStore:
         path = self.path_for(driver, fingerprint)
         try:
             with open(path, "rb") as fh:
+                # Injected corrupt read: InjectedFault lands in the
+                # same warn-once discard-and-recompute branch a truly
+                # torn file would (only consulted for files that exist).
+                faults.maybe_inject("artifact.corrupt_read")
                 pickle.load(fh)          # metadata header
                 value = pickle.load(fh)  # payload
         except FileNotFoundError:

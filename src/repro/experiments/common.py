@@ -29,6 +29,7 @@ from repro.config import NOMINAL_FREQUENCY_HZ
 from repro.core.controller import Rubik
 from repro.experiments import artifacts, configs
 from repro.perf import parallel_map
+from repro.resilience import CellFailure, SweepFailure, execution
 from repro.schemes.adrenaline import AdrenalineOracle
 from repro.schemes.base import SchemeContext
 from repro.schemes.replay import ReplayResult, replay
@@ -76,25 +77,67 @@ def make_cells(driver: str, fn: Callable[[Any], Any],
     return [CellSpec(driver, version, fn, item) for item in items]
 
 
+def _compute_batch(fn: Callable[[Any], Any], batch: Sequence[Any],
+                   indices: Sequence[int],
+                   processes: Optional[int], chunksize: int) -> List[Any]:
+    """Dispatch one batch of cells: exact ``parallel_map`` semantics
+    without an active :class:`~repro.resilience.RetryPolicy`, the
+    resilient per-cell executor with one. Failures come back as
+    :class:`~repro.resilience.CellFailure` objects re-indexed to the
+    *original* cell positions (``resilient_map`` numbers within the
+    batch it was handed)."""
+    policy = execution.active_policy()
+    if policy is None:
+        return parallel_map(fn, batch, processes=processes,
+                            chunksize=chunksize)
+    computed = execution.resilient_map(fn, batch, processes=processes,
+                                       policy=policy)
+    return [dataclasses.replace(v, index=indices[j])
+            if isinstance(v, CellFailure) else v
+            for j, v in enumerate(computed)]
+
+
+def _raise_if_failed(driver: str, results: Sequence[Any]) -> None:
+    failures = [r for r in results if isinstance(r, CellFailure)]
+    if failures:
+        raise SweepFailure(driver, failures, len(results))
+
+
 def run_cells(driver: str, fn: Callable[[Any], Any],
               items: Sequence[Any],
               processes: Optional[int] = None,
               chunksize: int = 1) -> List[Any]:
     """``[fn(x) for x in items]`` through the artifact store.
 
-    The store-free path is exactly :func:`repro.perf.parallel_map`
-    (bitwise-pinned by the runner equivalence tests). With a store
-    active (regenerate CLI, ``REPRO_ARTIFACT_CACHE=1``, or an explicit
+    The store-free, policy-free path is exactly
+    :func:`repro.perf.parallel_map` (bitwise-pinned by the runner
+    equivalence tests). With a store active (regenerate CLI,
+    ``REPRO_ARTIFACT_CACHE=1``, or an explicit
     :func:`repro.experiments.artifacts.activate`), each cell's
     fingerprint is consulted first and only the misses dispatch — in
-    one ``parallel_map`` batch, so pool load-balancing over the misses
-    is unchanged. Hit values were pickled by an earlier identical
-    computation, so cold and warm results are bitwise-identical.
+    one batch, so pool load-balancing over the misses is unchanged.
+    Hit values were pickled by an earlier identical computation, so
+    cold and warm results are bitwise-identical.
+
+    With an active :func:`repro.resilience.use_policy` policy (the
+    runner's ``--keep-going``/``--max-retries`` flags), the batch runs
+    through :func:`repro.resilience.resilient_map` instead: one
+    raising/hung/crashed cell no longer aborts the sweep. Every
+    *successful* cell is persisted to the store first, and then a
+    :class:`~repro.resilience.SweepFailure` reports exactly the failed
+    cells — so a rerun resumes from the survivors and recomputes only
+    the failures (the resume-from-store workflow in
+    ``docs/robustness.md``).
     """
     store = artifacts.active_store()
     if store is None:
-        return parallel_map(fn, items, processes=processes,
-                            chunksize=chunksize)
+        if execution.active_policy() is None:
+            return parallel_map(fn, items, processes=processes,
+                                chunksize=chunksize)
+        results = _compute_batch(fn, items, list(range(len(items))),
+                                 processes, chunksize)
+        _raise_if_failed(driver, results)
+        return results
     cells = make_cells(driver, fn, items)
     results: List[Any] = [None] * len(cells)
     missing: List[int] = []
@@ -105,14 +148,17 @@ def run_cells(driver: str, fn: Callable[[Any], Any],
         else:
             missing.append(i)
     if missing:
-        computed = parallel_map(
-            fn, [cells[i].args for i in missing],
-            processes=processes, chunksize=chunksize)
+        computed = _compute_batch(
+            fn, [cells[i].args for i in missing], missing,
+            processes, chunksize)
         for i, value in zip(missing, computed):
+            results[i] = value
+            if isinstance(value, CellFailure):
+                continue  # never persist a failure record as a value
             store.put(driver, cells[i].fingerprint, value,
                       meta={"version": cells[i].version,
                             "fn": f"{fn.__module__}:{fn.__qualname__}"})
-            results[i] = value
+    _raise_if_failed(driver, results)
     return results
 
 

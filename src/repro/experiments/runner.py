@@ -30,6 +30,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import dataclasses
+import sys
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments import (
@@ -49,6 +50,29 @@ from repro.experiments import (
 )
 from repro.experiments.configs import CONFIGS, DriverConfig
 from repro.perf import WorkerPool
+from repro.resilience import RetryPolicy, SweepFailure, use_policy
+
+
+class RegenerationFailed(RuntimeError):
+    """One or more drivers finished with failed cells.
+
+    Carries the reports that *did* complete plus each failing driver's
+    :class:`~repro.resilience.SweepFailure`, so the CLI can print a
+    per-driver summary and callers can still use partial output. The
+    successful cells of the failing drivers are already persisted in
+    the artifact store — rerunning the same command resumes from them.
+    """
+
+    def __init__(self, reports: Dict[str, str],
+                 failures: Dict[str, SweepFailure]):
+        self.reports = dict(reports)
+        self.failures = dict(failures)
+        super().__init__(
+            f"{len(self.failures)} driver(s) had failed cells: "
+            + ", ".join(self.failures))
+
+    def summary(self) -> str:
+        return "\n".join(f.summary() for f in self.failures.values())
 
 
 @dataclasses.dataclass(frozen=True)
@@ -150,7 +174,9 @@ def regenerate(names: Optional[Sequence[str]] = None,
                num_requests: Optional[int] = None,
                processes: Optional[int] = None,
                use_cache: bool = False,
-               refresh: Sequence[str] = ()) -> Dict[str, str]:
+               refresh: Sequence[str] = (),
+               policy: Optional[RetryPolicy] = None,
+               keep_going: bool = False) -> Dict[str, str]:
     """Regenerate the selected figures/tables through one shared pool.
 
     Returns ``{name: report}`` in registration order. The
@@ -167,6 +193,16 @@ def regenerate(names: Optional[Sequence[str]] = None,
     invalidation lever. The default is cache-off so library callers and
     the equivalence tests keep their direct compute semantics; the CLI
     flips it on.
+
+    ``policy`` activates the resilient executor for every driver's
+    cells (per-cell retry/timeout, crashed-worker recovery — see
+    ``docs/robustness.md``). A driver whose sweep still ends with
+    failed cells raises :class:`~repro.resilience.SweepFailure`, which
+    aborts the remaining drivers unless ``keep_going`` is set; either
+    way the failing drivers' *successful* cells are already persisted
+    (when the store is on), and :class:`RegenerationFailed` is raised
+    at the end with the completed reports attached — rerunning the same
+    command resumes from the survivors.
     """
     specs = resolve(names)
     if refresh:
@@ -177,10 +213,20 @@ def regenerate(names: Optional[Sequence[str]] = None,
         cache_ctx = artifacts.activate()
     else:
         cache_ctx = contextlib.nullcontext()
+    policy_ctx = use_policy(policy) if policy is not None \
+        else contextlib.nullcontext()
     reports: Dict[str, str] = {}
-    with cache_ctx, WorkerPool(processes):
+    failures: Dict[str, SweepFailure] = {}
+    with cache_ctx, policy_ctx, WorkerPool(processes):
         for spec in specs:
-            reports[spec.name] = spec.run(num_requests)
+            try:
+                reports[spec.name] = spec.run(num_requests)
+            except SweepFailure as exc:
+                failures[spec.name] = exc
+                if not keep_going:
+                    break
+    if failures:
+        raise RegenerationFailed(reports, failures)
     return reports
 
 
@@ -211,6 +257,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="invalidate the named driver's cached cells before running "
              "(repeatable; aliases ok)")
     parser.add_argument(
+        "--keep-going", action="store_true",
+        help="keep running the remaining drivers after one finishes "
+             "with failed cells (per-driver failure summary at the "
+             "end; exit status 1)")
+    parser.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="attempts after the first for a failing cell "
+             "(default 1 when the resilient executor is active)")
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell soft timeout; a cell exceeding it is charged a "
+             "failed attempt and its pool rebuilt (default: none)")
+    parser.add_argument(
         "--list", action="store_true", dest="list_experiments",
         help="list registered experiments (with cached-cell counts) "
              "and exit")
@@ -233,18 +292,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except KeyError as exc:
         parser.error(str(exc.args[0]))
     use_cache = not args.no_cache
+    # Any resilience flag activates the resilient executor; without
+    # one, cells keep the exact parallel_map fail-fast semantics.
+    policy: Optional[RetryPolicy] = None
+    if args.keep_going or args.max_retries is not None \
+            or args.cell_timeout is not None:
+        policy = RetryPolicy(
+            max_retries=(args.max_retries
+                         if args.max_retries is not None else 1),
+            timeout_s=args.cell_timeout)
     print(f"Regenerating: {', '.join(s.name for s in specs)}")
     store = artifacts.default_store() if use_cache else None
     before = store.stats() if store else None
-    regenerate([s.name for s in specs],
-               num_requests=args.num_requests,
-               processes=args.processes,
-               use_cache=use_cache,
-               refresh=args.refresh)
+    failed: Optional[RegenerationFailed] = None
+    try:
+        regenerate([s.name for s in specs],
+                   num_requests=args.num_requests,
+                   processes=args.processes,
+                   use_cache=use_cache,
+                   refresh=args.refresh,
+                   policy=policy,
+                   keep_going=args.keep_going)
+    except RegenerationFailed as exc:
+        failed = exc
     if store is not None:
         after = store.stats()
         hits = after["hits"] - before["hits"]
         misses = after["misses"] - before["misses"]
         print(f"[artifact-cache] {hits} hits, {misses} misses "
               f"({store.root})")
+    if failed is not None:
+        print(f"FAILED: {failed}", file=sys.stderr)
+        print(failed.summary(), file=sys.stderr)
+        if use_cache:
+            print("(successful cells are cached; rerun the same "
+                  "command to recompute only the failures)",
+                  file=sys.stderr)
+        return 1
     return 0

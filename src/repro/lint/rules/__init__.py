@@ -12,4 +12,5 @@ from repro.lint.rules import (  # noqa: F401
     fingerprint,
     env_gate,
     picklable,
+    fault_gate,
 )

@@ -1,0 +1,97 @@
+"""Rule ``fault-gate`` — faults are injected only through the
+``repro.resilience`` hook helpers, and never silently swallowed.
+
+The fault-injection plane (:mod:`repro.resilience.faults`) is the one
+sanctioned source of injected process death, hangs, and raised faults:
+every hook is declarative, seeded, and inert without an explicitly
+activated :class:`~repro.resilience.FaultPlan`, which is what makes
+chaos runs reproducible and fault-free runs provably fault-free. An
+ad-hoc ``os._exit`` or ``signal`` call buried in library code is an
+injection point the plane cannot see — it fires on its own schedule,
+breaks the "no active plan, no faults" invariant, and is exactly the
+kind of brittleness the resilient executor exists to contain.
+
+Two checks:
+
+* process-control calls (``os._exit``, ``os.kill``, ``os.abort``,
+  ``signal.signal``, ``signal.raise_signal``, ``signal.alarm``,
+  ``signal.pthread_kill``) anywhere outside ``repro/resilience/`` —
+  library code hosts faults via
+  :func:`repro.resilience.maybe_inject`, never raw process control;
+* ``except:`` / ``except Exception:`` / ``except BaseException:``
+  handlers whose whole body is ``pass`` — a swallowed failure is a
+  resilience bug, not resilience: failures must surface as
+  :class:`~repro.resilience.CellFailure` records, warn-once notices,
+  or propagate. (``contextlib.suppress(OSError)`` and friends stay
+  fine: they name the exception they forgive.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.base import (
+    FileContext,
+    Finding,
+    Rule,
+    dotted_name,
+    register,
+)
+
+#: The one package allowed to own process-control fault machinery.
+_PLANE_FRAGMENT = "repro/resilience/"
+
+#: Process-control calls that amount to ad-hoc fault injection.
+_PROCESS_CALLS = frozenset({
+    "os._exit",
+    "os.kill",
+    "os.abort",
+    "signal.signal",
+    "signal.raise_signal",
+    "signal.alarm",
+    "signal.pthread_kill",
+})
+
+#: Handler types that catch everything (None = bare ``except:``).
+_BROAD_HANDLERS = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    return isinstance(handler.type, ast.Name) \
+        and handler.type.id in _BROAD_HANDLERS
+
+
+@register
+class FaultGateRule(Rule):
+    id = "fault-gate"
+    title = "faults only through repro.resilience hooks, never swallowed"
+    invariant = ("deterministic fault plane: no active FaultPlan means "
+                 "no faults, and no failure disappears silently")
+    scope = "file"
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.is_python or _PLANE_FRAGMENT in ctx.posix:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted in _PROCESS_CALLS:
+                    yield Finding(
+                        ctx.path, node.lineno, self.id,
+                        f"ad-hoc {dotted}(): inject faults through "
+                        "repro.resilience.maybe_inject hooks so they "
+                        "stay declarative, seeded, and inert without "
+                        "an active FaultPlan")
+            elif isinstance(node, ast.ExceptHandler):
+                if _is_broad(node) and len(node.body) == 1 \
+                        and isinstance(node.body[0], ast.Pass):
+                    caught = "bare except" if node.type is None \
+                        else f"except {node.type.id}"
+                    yield Finding(
+                        ctx.path, node.lineno, self.id,
+                        f"{caught}: pass swallows every failure; "
+                        "surface it (CellFailure, warn-once, re-raise) "
+                        "or suppress the specific exception type")

@@ -37,13 +37,29 @@ from __future__ import annotations
 
 import contextlib
 import multiprocessing
+import multiprocessing.pool
 import os
-from typing import Callable, Iterator, List, Optional, Sequence, Set, TypeVar
+import threading
+from typing import (Callable, Iterator, List, Optional, Sequence, Set,
+                    Tuple, TypeVar)
 
 from repro import config
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class WorkerLostError(RuntimeError):
+    """A pool worker died (SIGKILLed, OOM-killed, ``os._exit``) while
+    the dispatch was in flight.
+
+    ``multiprocessing.Pool`` replaces dead workers but never completes
+    their in-flight tasks, so the old blocking ``map_async().get()``
+    would wait forever; the polled dispatch detects the death and
+    raises this instead. The resilient executor
+    (:func:`repro.resilience.resilient_map`) catches it, rebuilds the
+    pool, and retries only the lost cells.
+    """
 
 #: Environment variable capping worker processes (0/1 = force serial).
 MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
@@ -127,22 +143,104 @@ def _init_worker() -> None:
     _active_pool = None
 
 
-def _map_guarded(pool: multiprocessing.pool.Pool, fn: Callable[[T], R],
-                 items: Sequence[T], chunksize: int) -> List[R]:
-    """``pool.map`` with deterministic teardown.
+#: How often the polled dispatch wakes to check worker liveness.
+_POLL_INTERVAL_S = 0.02
 
-    The load-bearing part is the ``except``: on *any* failure — a worker
-    exception or a ``KeyboardInterrupt``/``SystemExit`` in the parent —
-    the pool is ``terminate()``d, never ``close()``+``join()``ed on
-    still-live workers (which is what a bare ``with Pool(...)`` body
-    falling out through an interrupt can end up waiting on). The first
-    worker exception propagates as the original exception object with
-    the remote traceback attached (``__cause__``) by ``multiprocessing``.
+#: Budget for one bounded teardown attempt in :func:`_reap_pool`.
+_REAP_TIMEOUT_S = 5.0
+
+
+def _worker_pids(pool: multiprocessing.pool.Pool) -> Tuple[Set[int], Set[int]]:
+    """``(known, alive)`` pid sets for the pool's current workers.
+
+    ``known`` is every worker the pool object currently tracks;
+    ``alive`` the subset still running. A pid in a previously captured
+    ``known`` that is in neither set was a worker that died and has
+    already been replaced by the pool's maintenance thread — either
+    way, its in-flight task is gone.
+    """
+    workers = list(pool._pool)
+    known = {p.pid for p in workers}
+    alive = {p.pid for p in workers if p.is_alive()}
+    return known, alive
+
+
+def _reap_pool(pool: multiprocessing.pool.Pool,
+               timeout_s: float = _REAP_TIMEOUT_S) -> bool:
+    """Tear a (possibly degraded) pool down without blocking forever.
+
+    ``Pool.terminate()`` ends with an *unbounded* ``join`` on every
+    worker, and its inqueue-drain helper acquires a queue lock that a
+    worker killed while idle may have died holding — either can wedge
+    teardown for good (the bug this replaces: ``WorkerPool.map``'s
+    exception path called ``self._pool.join()`` with no timeout, so one
+    stuck child blocked the whole parent). Instead, ``terminate()``
+    runs under a watchdog thread with a bounded wait; if it does not
+    come back, every worker is SIGKILLed, the possibly dead-held queue
+    lock is released from the parent (legal for SysV/POSIX semaphores),
+    and teardown gets one more bounded wait. If it is *still* wedged
+    the pool object is abandoned: its daemon handler threads leak, but
+    every worker is already dead and the caller's pool handle is
+    dropped — strictly better than hanging the run.
+
+    Returns ``True`` on clean teardown, ``False`` when abandoned.
+    """
+    reaper = threading.Thread(target=pool.terminate, daemon=True,
+                              name="repro-pool-reaper")
+    reaper.start()
+    reaper.join(timeout_s)
+    if reaper.is_alive():
+        for p in list(pool._pool):
+            if p.is_alive():
+                p.kill()
+        try:
+            pool._inqueue._rlock.release()
+        except (ValueError, OSError):
+            pass  # lock was not actually dead-held
+        reaper.join(timeout_s)
+    if reaper.is_alive():
+        return False
+    pool.join()
+    return True
+
+
+def _map_polled(pool: multiprocessing.pool.Pool, fn: Callable[[T], R],
+                items: Sequence[T], chunksize: int) -> List[R]:
+    """``pool.map`` via polled async results, with deterministic teardown.
+
+    Two failure modes are handled where the old blocking
+    ``map_async().get()`` could not:
+
+    * a worker *exception* propagates as the original exception object
+      with the remote traceback attached (``__cause__``), exactly as
+      before — the result is ready, ``get()`` raises it;
+    * a worker *death* (SIGKILL, OOM, ``os._exit``) is detected by
+      polling worker liveness between waits and raises
+      :class:`WorkerLostError` instead of blocking forever on a result
+      that can never arrive (the pool replaces dead workers but their
+      in-flight tasks are lost).
+
+    On any failure the pool is reaped with the bounded teardown —
+    never ``close()``+``join()``ed on still-live workers.
     """
     try:
-        return pool.map_async(fn, items, chunksize=chunksize).get()
+        # Snapshot worker pids *before* dispatch: a worker that dies
+        # afterwards is detected even if the pool's maintenance thread
+        # already replaced it (its pid left the alive set).
+        known, _ = _worker_pids(pool)
+        result = pool.map_async(fn, items, chunksize=chunksize)
+        while True:
+            result.wait(_POLL_INTERVAL_S)
+            if result.ready():
+                return result.get()
+            _, alive = _worker_pids(pool)
+            lost = known - alive
+            if lost:
+                raise WorkerLostError(
+                    f"lost pool worker(s) {sorted(lost)} with "
+                    f"{len(items)} item(s) dispatched")
     except BaseException:
-        pool.terminate()
+        _reap_pool(pool)
         raise
 
 
@@ -185,27 +283,67 @@ class WorkerPool:
         """Whether the OS pool has actually been created."""
         return self._pool is not None
 
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        """The OS pool, creating it lazily on first use."""
+        global _pools_created
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(
+                self.size, initializer=_init_worker)
+            _pools_created += 1
+        return self._pool
+
     def map(self, fn: Callable[[T], R], items: Sequence[T],
             chunksize: int = 1) -> List[R]:
         """``[fn(x) for x in items]`` on the shared pool (input order)."""
-        global _pools_created
         if _in_worker or self.size <= 1 or len(items) <= 1:
             # _in_worker: a driver wrapped in shared_pool()/WorkerPool
             # running *inside* a pool worker must stay serial — daemonic
             # processes cannot fork children.
             return [fn(item) for item in items]
-        if self._pool is None:
-            self._pool = multiprocessing.Pool(
-                self.size, initializer=_init_worker)
-            _pools_created += 1
         try:
-            return _map_guarded(self._pool, fn, items, chunksize)
+            return _map_polled(self._ensure_pool(), fn, items, chunksize)
         except BaseException:
-            # _map_guarded already terminated it; reap and drop the
+            # _map_polled already reaped it (bounded); just drop the
             # handle so a later dispatch starts from a clean pool.
-            self._pool.join()
             self._pool = None
             raise
+
+    def ensure(self) -> "WorkerPool":
+        """Force the lazy OS pool into existence (fork now).
+
+        The resilient executor calls this before handing out work so it
+        can snapshot worker pids *first* — a cell that kills its worker
+        instantly must still be attributable to a pid the parent has
+        seen, even if the pool's maintenance thread replaces the worker
+        before the next poll.
+        """
+        self._ensure_pool()
+        return self
+
+    def submit(self, fn: Callable[[T], R],
+               item: T) -> "multiprocessing.pool.AsyncResult":
+        """Dispatch one item; returns its ``AsyncResult`` handle.
+
+        The per-cell entry point the resilient executor drives: unlike
+        :meth:`map`, each cell gets its own handle, so timeouts, lost
+        workers, and retries can be tracked per cell.
+        """
+        return self._ensure_pool().apply_async(fn, (item,))
+
+    def worker_status(self) -> List[Tuple[int, bool]]:
+        """``[(pid, is_alive)]`` for the current workers ([] unspawned)."""
+        if self._pool is None:
+            return []
+        return [(p.pid, p.is_alive()) for p in list(self._pool._pool)]
+
+    def rebuild(self) -> None:
+        """Reap the OS pool (bounded) and drop the handle, so the next
+        dispatch lazily forks a fresh pool (counted in
+        :func:`pools_created`). Outstanding dispatches are lost — the
+        crashed/hung-worker recovery path."""
+        if self._pool is not None:
+            _reap_pool(self._pool)
+            self._pool = None
 
     def close(self) -> None:
         """Graceful shutdown: finish outstanding work, reap workers."""
@@ -215,10 +353,10 @@ class WorkerPool:
             self._pool = None
 
     def terminate(self) -> None:
-        """Hard shutdown: kill workers without waiting."""
+        """Hard shutdown: kill workers, bounded reap (never blocks on a
+        stuck child)."""
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            _reap_pool(self._pool)
             self._pool = None
 
     def __enter__(self) -> "WorkerPool":
@@ -291,11 +429,8 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T],
         return [fn(item) for item in items]
     pool = multiprocessing.Pool(workers, initializer=_init_worker)
     _pools_created += 1
-    try:
-        results = _map_guarded(pool, fn, items, chunksize)
-    except BaseException:
-        pool.join()
-        raise
+    # On failure _map_polled reaps the pool (bounded) before raising.
+    results = _map_polled(pool, fn, items, chunksize)
     pool.close()
     pool.join()
     return results

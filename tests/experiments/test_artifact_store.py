@@ -270,6 +270,49 @@ def _assert_fn_results(actual, items):
         np.testing.assert_array_equal(got["arr"], expected["arr"])
 
 
+class TestStaleTmpSweep:
+    """Satellite: orphaned ``.*.tmp`` staging files (a writer SIGKILLed
+    between tmp-write and rename) are swept at store open."""
+
+    def _orphan(self, root, driver="fig06", age_s=3600.0, name=None):
+        d = root / driver
+        d.mkdir(parents=True, exist_ok=True)
+        tmp = d / (name or ".deadbeef.1234.0.tmp")
+        tmp.write_bytes(b"torn")
+        import os
+        old = tmp.stat().st_mtime - age_s
+        os.utime(tmp, (old, old))
+        return tmp
+
+    def test_old_orphans_swept_warned_and_counted(self, tmp_path):
+        root = tmp_path / "store"
+        a = self._orphan(root, "fig06")
+        b = self._orphan(root, "fig09", name=".cafe.99.1.tmp")
+        with pytest.warns(RuntimeWarning, match="2 orphaned"):
+            store = ArtifactStore(root)
+        assert not a.exists() and not b.exists()
+        assert store.stats()["stale_tmps_removed"] == 2
+
+    def test_fresh_tmp_left_for_live_writer(self, tmp_path):
+        root = tmp_path / "store"
+        tmp = self._orphan(root, age_s=0.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            store = ArtifactStore(root)
+        assert tmp.exists()
+        assert store.stats()["stale_tmps_removed"] == 0
+
+    def test_sweep_never_touches_real_artifacts(self, tmp_path):
+        root = tmp_path / "store"
+        store = ArtifactStore(root)
+        store.put("fig06", "a" * 16, {"v": 1})
+        self._orphan(root)
+        with pytest.warns(RuntimeWarning, match="orphaned"):
+            reopened = ArtifactStore(root)
+        found, value = reopened.get("fig06", "a" * 16)
+        assert found and value == {"v": 1}
+
+
 class TestRunCells:
     ITEMS = [(1, 2.0), (3, 4.0), (5, 6.0)]
 

@@ -142,10 +142,11 @@ class TestEngine:
             "x.c": "// repro-lint: allow(determinism) -- stale\nint x;\n"})
         assert [f.rule for f in res.findings] == ["unused-suppression"]
 
-    def test_registry_has_the_six_documented_rules(self):
+    def test_registry_has_the_seven_documented_rules(self):
         assert list(all_rules()) == [
             "determinism", "native-abi", "flush-hook",
-            "fingerprint-coverage", "env-gate", "picklable-worker"]
+            "fingerprint-coverage", "env-gate", "picklable-worker",
+            "fault-gate"]
         for rule in all_rules().values():
             assert rule.title and rule.invariant
 

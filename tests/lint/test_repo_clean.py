@@ -19,7 +19,7 @@ class TestRepoClean:
         # The default scan must include the native C source (the ABI
         # cross-check pairs it with the ctypes mirror) and be non-toy.
         assert result.files_scanned > 50
-        assert len(result.rules_run) == 6
+        assert len(result.rules_run) == 7
 
     def test_default_paths_is_the_package_tree(self):
         (root,) = default_paths()

@@ -298,6 +298,92 @@ class TestFlushHook:
             """, path="src/repro/sim/core.py")
 
 
+class TestFaultGate:
+    RULE = "fault-gate"
+
+    def test_os_exit_fires(self):
+        found = findings(self.RULE, """\
+            import os
+
+            def die():
+                os._exit(1)
+            """)
+        assert found and "os._exit" in found[0].message
+        assert "maybe_inject" in found[0].message
+
+    def test_os_kill_fires(self):
+        assert findings(self.RULE, """\
+            import os, signal
+
+            def kill(pid):
+                os.kill(pid, signal.SIGKILL)
+            """)
+
+    def test_signal_handler_install_fires(self):
+        assert findings(self.RULE, """\
+            import signal
+
+            def arm():
+                signal.signal(signal.SIGALRM, lambda *a: None)
+            """)
+
+    def test_resilience_plane_is_exempt(self):
+        assert not findings(self.RULE, """\
+            import os
+
+            def _fire():
+                os._exit(113)
+            """, path="src/repro/resilience/faults.py")
+
+    def test_bare_except_pass_fires(self):
+        found = findings(self.RULE, """\
+            def f():
+                try:
+                    work()
+                except:
+                    pass
+            """)
+        assert found and "bare except" in found[0].message
+
+    def test_except_exception_pass_fires(self):
+        found = findings(self.RULE, """\
+            def f():
+                try:
+                    work()
+                except Exception:
+                    pass
+            """)
+        assert found and "except Exception" in found[0].message
+
+    def test_broad_handler_that_surfaces_is_silent(self):
+        assert not findings(self.RULE, """\
+            def f():
+                try:
+                    work()
+                except Exception as exc:
+                    record(exc)
+            """)
+
+    def test_narrow_handler_pass_is_silent(self):
+        # Suppressing a *named* exception type is a decision, not a
+        # swallow: contextlib.suppress semantics stay fine.
+        assert not findings(self.RULE, """\
+            def f():
+                try:
+                    work()
+                except OSError:
+                    pass
+            """)
+
+    def test_unrelated_os_calls_silent(self):
+        assert not findings(self.RULE, """\
+            import os
+
+            def pid():
+                return os.getpid()
+            """)
+
+
 class TestFingerprintCoverage:
     RULE = "fingerprint-coverage"
 

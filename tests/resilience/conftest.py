@@ -1,0 +1,40 @@
+"""Resilience-test fixtures: fresh fault-plane/policy state per test.
+
+The fault plane keeps module-level activation and trigger state
+(deliberately — consult counters must span a whole activation), and the
+chaos tests drive the artifact store; both would leak between tests
+without isolation. Every test here gets a clean plane, no ambient
+policy, no ``REPRO_FAULT_PLAN``, and a per-test store root.
+"""
+
+import pytest
+
+from repro.experiments import artifacts
+from repro.resilience import execution, faults
+
+
+@pytest.fixture(autouse=True)
+def fresh_fault_plane(monkeypatch):
+    """No active plan/policy, empty trigger counters, forgotten env
+    memos — the state a fault-free process starts with."""
+    monkeypatch.delenv(faults.FAULT_PLAN_ENV, raising=False)
+    monkeypatch.setattr(faults, "_active_plan", None)
+    monkeypatch.setattr(faults, "_counts", {})
+    monkeypatch.setattr(faults, "_fires", {})
+    monkeypatch.setattr(faults, "_env_cache", {})
+    monkeypatch.setattr(faults, "_warned_env_values", set())
+    monkeypatch.setattr(execution, "_active_policy", None)
+    yield
+
+
+@pytest.fixture(autouse=True)
+def isolated_artifact_store(tmp_path, monkeypatch):
+    """Per-test store root (same contract as tests/experiments)."""
+    root = tmp_path / "artifacts"
+    monkeypatch.setenv(artifacts.ARTIFACT_DIR_ENV, str(root))
+    monkeypatch.delenv(artifacts.ARTIFACT_CACHE_ENV, raising=False)
+    monkeypatch.setattr(artifacts, "_warned_env_values", set())
+    monkeypatch.setattr(artifacts, "_warned_corrupt_paths", set())
+    monkeypatch.setattr(artifacts, "_default_stores", {})
+    monkeypatch.setattr(artifacts, "_active_store", None)
+    yield root

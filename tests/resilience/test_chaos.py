@@ -1,0 +1,112 @@
+"""Chaos acceptance test (ISSUE 9): the fig06 subset under a FaultPlan
+mixing one worker crash, one hanging cell, and one injected cell
+exception — the sweep completes, reports exactly the injected failures,
+and a fault-free resume pass recomputes only the failed cells, yielding
+bitwise-identical results to a run that never saw a fault.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import artifacts, runner
+from repro.experiments.fig06_power_savings import run_fig6
+from repro.resilience import (
+    FaultPlan,
+    RetryPolicy,
+    SweepFailure,
+    faults,
+    use_policy,
+)
+
+APPS = ("masstree", "xapian")
+LOADS = (0.3, 0.4, 0.5)
+NUM_REQUESTS = 80
+SCHEMES = ("Rubik",)
+
+# Cells flatten app-major, load-minor (one seed): index 0 is
+# masstree@30%, index 3 is xapian@30%, index 5 is xapian@50%.
+#   cell 0: its worker crashes mid-cell (recovers on retry);
+#   cell 3: raises on every attempt (terminal exception);
+#   cell 5: hangs on every attempt (terminal soft timeout).
+PLAN = FaultPlan.parse(
+    "seed=7;worker.crash@0:delay=0.15;cell.raise@3:times=9;"
+    "worker.hang@5:times=9")
+
+POLICY = RetryPolicy(max_retries=1, timeout_s=2.0)
+
+
+def _run_subset(processes=2):
+    return run_fig6(num_requests=NUM_REQUESTS, seeds=(1,), loads=LOADS,
+                    apps=APPS, include=SCHEMES, processes=processes)
+
+
+class TestChaosSweep:
+    def test_chaos_run_then_resume_matches_fault_free(self):
+        # Fault-free baseline, no store: the ground truth.
+        baseline = _run_subset()
+
+        store = artifacts.default_store()
+        with artifacts.activate(), use_policy(POLICY):
+            with faults.activate(PLAN):
+                with pytest.raises(SweepFailure) as excinfo:
+                    _run_subset()
+
+            # Exactly the injected failures, nothing else.
+            failure = excinfo.value
+            assert failure.driver == "fig06" and failure.total == 6
+            by_index = {f.index: f for f in failure.failures}
+            assert sorted(by_index) == [3, 5]
+            assert by_index[3].kind == "exception"
+            assert "InjectedFault" in by_index[3].error
+            assert by_index[5].kind == "timeout"
+            assert "fig06" in failure.summary()
+
+            # The crashed/clean cells were persisted before the raise.
+            assert store.cached_cells("fig06") == 4
+            mid = store.stats()
+
+            # Resume, fault-free: only the two failed cells recompute.
+            resumed = _run_subset()
+            after = store.stats()
+            assert after["hits"] - mid["hits"] == 4
+            assert after["misses"] - mid["misses"] == 2
+            assert store.cached_cells("fig06") == 6
+
+        assert resumed.savings == baseline.savings
+        assert resumed.loads == baseline.loads
+        assert resumed.schemes == baseline.schemes
+
+
+@dataclasses.dataclass(frozen=True)
+class _FakeSpec:
+    name: str
+    fail: bool
+    aliases: tuple = ()
+
+    def run(self, num_requests=None):
+        if self.fail:
+            raise SweepFailure(self.name, [], 4)
+        return f"{self.name}: ok"
+
+
+class TestRegenerateKeepGoing:
+    @pytest.fixture()
+    def fake_registry(self, monkeypatch):
+        specs = {"alpha": _FakeSpec("alpha", fail=True),
+                 "beta": _FakeSpec("beta", fail=False)}
+        monkeypatch.setattr(runner, "EXPERIMENTS", specs)
+        return specs
+
+    def test_keep_going_runs_remaining_drivers(self, fake_registry):
+        with pytest.raises(runner.RegenerationFailed) as excinfo:
+            runner.regenerate(["alpha", "beta"], keep_going=True)
+        failed = excinfo.value
+        assert set(failed.failures) == {"alpha"}
+        assert failed.reports == {"beta": "beta: ok"}
+        assert "alpha" in failed.summary()
+
+    def test_default_aborts_after_first_failure(self, fake_registry):
+        with pytest.raises(runner.RegenerationFailed) as excinfo:
+            runner.regenerate(["alpha", "beta"], keep_going=False)
+        assert excinfo.value.reports == {}  # beta never ran

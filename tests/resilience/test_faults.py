@@ -1,0 +1,214 @@
+"""Fault-plane unit tests: spec validation, plan grammar, trigger
+determinism, and the never-ambient activation contract."""
+
+import warnings
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.faults import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    InjectedFault,
+)
+
+
+class TestFaultSpecValidation:
+    def test_minimal_index_spec(self):
+        spec = FaultSpec("cell.raise", index=3)
+        assert spec.times == 1 and spec.delay_s == 0.0
+
+    def test_unknown_hook_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault hook"):
+            FaultSpec("worker.explode", index=0)
+
+    def test_no_trigger_rejected(self):
+        with pytest.raises(FaultPlanError, match="exactly one trigger"):
+            FaultSpec("cell.raise")
+
+    def test_two_triggers_rejected(self):
+        with pytest.raises(FaultPlanError, match="exactly one trigger"):
+            FaultSpec("cell.raise", index=1, nth=2)
+
+    @pytest.mark.parametrize("kwargs,match", [
+        (dict(index=-1), "index"),
+        (dict(nth=0), "nth"),
+        (dict(p=1.5), "p trigger"),
+        (dict(index=0, times=0), "times"),
+        (dict(index=0, delay_s=-0.1), "delay_s"),
+    ])
+    def test_bad_values_rejected(self, kwargs, match):
+        with pytest.raises(FaultPlanError, match=match):
+            FaultSpec("cell.raise", **kwargs)
+
+
+class TestPlanGrammar:
+    def test_docstring_example(self):
+        plan = FaultPlan.parse(
+            "seed=7;worker.crash@0:delay=0.3;cell.raise@3:times=9;"
+            "worker.hang@5:times=9")
+        assert plan.seed == 7
+        assert [f.hook for f in plan.faults] == [
+            "worker.crash", "cell.raise", "worker.hang"]
+        assert plan.faults[0].delay_s == 0.3
+        assert plan.faults[1].index == 3 and plan.faults[1].times == 9
+
+    def test_nth_and_p_options(self):
+        plan = FaultPlan.parse("artifact.corrupt_read:nth=2;"
+                               "native.load_fail:p=0.25,times=3")
+        assert plan.faults[0].nth == 2
+        assert plan.faults[1].p == 0.25 and plan.faults[1].times == 3
+
+    def test_empty_clauses_and_whitespace_ignored(self):
+        plan = FaultPlan.parse(" ; cell.raise@1 ;; seed=2 ")
+        assert plan.seed == 2 and len(plan.faults) == 1
+
+    @pytest.mark.parametrize("spec", [
+        "seed=x",
+        "cell.raise@x",
+        "cell.raise@1:bogus=3",
+        "cell.raise@1:times=x",
+        "cell.raise@1:p",
+        "worker.explode@1",
+        "cell.raise",  # no trigger
+    ])
+    def test_invalid_specs_raise(self, spec):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse(spec)
+
+    def test_for_hook_filters(self):
+        plan = FaultPlan.parse("cell.raise@1;worker.hang@2;cell.raise@3")
+        assert [f.index for f in plan.for_hook("cell.raise")] == [1, 3]
+
+
+class TestUnitInterval:
+    def test_deterministic_and_bounded(self):
+        a = faults.unit_interval(7, "cell.raise", 3, 0)
+        assert a == faults.unit_interval(7, "cell.raise", 3, 0)
+        assert 0.0 <= a < 1.0
+
+    def test_key_sensitivity(self):
+        assert faults.unit_interval(7, "x") != faults.unit_interval(8, "x")
+
+
+class TestEnvGate:
+    def test_unset_means_no_plan(self):
+        assert faults.env_plan() is None
+        assert faults.active_plan() is None
+
+    def test_valid_env_plan_parses(self, monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENV, "seed=3;cell.raise@0")
+        plan = faults.active_plan()
+        assert plan is not None and plan.seed == 3
+
+    def test_blank_value_warns_once_and_reads_unset(self, monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENV, "   ")
+        with pytest.warns(RuntimeWarning, match=FAULT_PLAN_ENV):
+            assert faults.env_plan() is None
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert faults.env_plan() is None
+
+    def test_unparsable_value_warns_once_and_reads_unset(self, monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENV, "worker.explode@1")
+        with pytest.warns(RuntimeWarning,
+                          match=r"ignoring invalid REPRO_FAULT_PLAN"):
+            assert faults.env_plan() is None
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert faults.env_plan() is None
+
+    def test_explicit_activation_beats_env(self, monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENV, "seed=1;cell.raise@0")
+        override = FaultPlan.parse("seed=99")
+        with faults.activate(override):
+            assert faults.active_plan() is override
+        assert faults.active_plan().seed == 1
+
+
+class TestTriggers:
+    def test_no_plan_every_consult_is_noop(self):
+        for hook in faults.HOOKS:
+            assert faults.should_fire(hook, index=0) is None
+            faults.maybe_inject(hook, index=0)  # must not raise
+
+    def test_unknown_hook_consult_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault hook"):
+            faults.should_fire("cell.explode")
+
+    def test_index_trigger_sabotages_first_times_attempts(self):
+        plan = FaultPlan.parse("cell.raise@2:times=2")
+        with faults.activate(plan):
+            assert faults.should_fire("cell.raise", index=1) is None
+            assert faults.should_fire("cell.raise", index=2, attempt=0)
+            assert faults.should_fire("cell.raise", index=2, attempt=1)
+            # Budget spent: the retried cell recovers deterministically.
+            assert faults.should_fire(
+                "cell.raise", index=2, attempt=2) is None
+
+    def test_nth_trigger_window(self):
+        plan = FaultPlan.parse("native.load_fail:nth=2,times=2")
+        with faults.activate(plan):
+            fired = [faults.should_fire("native.load_fail") is not None
+                     for _ in range(5)]
+        assert fired == [False, True, True, False, False]
+
+    def test_activation_resets_consult_counters(self):
+        plan = FaultPlan.parse("native.load_fail:nth=1")
+        with faults.activate(plan):
+            assert faults.should_fire("native.load_fail")
+        with faults.activate(plan):
+            assert faults.should_fire("native.load_fail")
+
+    def test_p_trigger_deterministic_and_bounded_by_times(self):
+        plan = FaultPlan.parse("seed=5;cell.raise:p=1.0,times=2")
+        with faults.activate(plan):
+            first = [faults.should_fire("cell.raise", index=i) is not None
+                     for i in range(4)]
+        with faults.activate(plan):
+            second = [faults.should_fire("cell.raise", index=i) is not None
+                      for i in range(4)]
+        assert first == second == [True, True, False, False]
+
+    def test_p_zero_never_fires(self):
+        plan = FaultPlan.parse("cell.raise:p=0.0")
+        with faults.activate(plan):
+            assert all(faults.should_fire("cell.raise", index=i) is None
+                       for i in range(20))
+
+    def test_maybe_inject_raises_injected_fault(self):
+        plan = FaultPlan.parse("cell.raise@4")
+        with faults.activate(plan):
+            with pytest.raises(InjectedFault, match="cell index 4"):
+                faults.maybe_inject("cell.raise", index=4)
+
+
+class TestLibraryHooks:
+    def test_native_loader_falls_back_to_python(self):
+        """An injected loader failure rides the existing warn-once
+        Python-kernel fallback instead of breaking the simulator."""
+        from repro.core._native import build
+
+        build._reset_for_tests()
+        try:
+            plan = FaultPlan.parse("native.load_fail:nth=1")
+            with faults.activate(plan):
+                with pytest.warns(RuntimeWarning, match="falling back"):
+                    assert build.load_library() is None
+        finally:
+            build._reset_for_tests()
+
+    def test_corrupt_read_warns_deletes_and_recomputes(self, tmp_path):
+        from repro.experiments.artifacts import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "store")
+        store.put("fig06", "f" * 16, {"v": 1})
+        plan = FaultPlan.parse("artifact.corrupt_read:nth=1")
+        with faults.activate(plan):
+            with pytest.warns(RuntimeWarning, match="corrupt"):
+                found, _ = store.get("fig06", "f" * 16)
+        assert not found  # entry deleted: next run recomputes
+        found, value = store.get("fig06", "f" * 16)
+        assert not found and store.stats()["misses"] >= 2

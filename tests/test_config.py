@@ -170,6 +170,24 @@ class TestEnvGateHelpers:
         with pytest.warns(RuntimeWarning):
             config.env_tristate("REPRO_TEST_TRI", registry)
 
+    def test_str_returns_content_verbatim(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_STR", " seed=7;cell.raise@3 ")
+        # Not even stripped: the caller owns the grammar.
+        assert config.env_str("REPRO_TEST_STR", set()) == \
+            " seed=7;cell.raise@3 "
+
+    def test_str_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_STR", raising=False)
+        assert config.env_str("REPRO_TEST_STR", set()) is None
+
+    @pytest.mark.parametrize("raw", ["", "   "])
+    def test_str_blank_warns_and_reads_unset(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TEST_STR", raw)
+        with pytest.warns(RuntimeWarning,
+                          match=r"ignoring invalid REPRO_TEST_STR"
+                                r".*non-empty"):
+            assert config.env_str("REPRO_TEST_STR", set()) is None
+
     def test_registries_are_per_variable_keyed(self, monkeypatch):
         # One shared registry can serve several variables: keys carry
         # the variable name, so the same raw value warns per variable.
