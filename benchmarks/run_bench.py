@@ -43,6 +43,14 @@ the repo's history:
   the contract, not a speedup: bitwise-identical results, all-zero
   retry/failure/rebuild counters, and small overhead over the baseline
   dispatch.
+* ``fleet``: the PR 10 sharded fleet — power-curve calibration (anchor
+  simulation cells) timed once against a throwaway artifact store, then
+  the routed cluster scenario at each tracked size with the anchors
+  warm, so the per-size wall measures placement + routing +
+  integration (interpolation, not simulation) and reports
+  servers-per-second. The shard-scaling A/B times 1 vs 2 shards at the
+  largest size and asserts the two results bitwise-identical
+  (invariant 21 — the layer's whole point).
 
 Usage::
 
@@ -84,13 +92,14 @@ from repro.experiments import artifacts, runner
 from repro.experiments.common import _compare_seed, latency_bound, make_context
 from repro.experiments.fig09_load_sweep import run_load_sweep
 from repro.perf import parallel_map, pools_created
+from repro.fleet import build_power_curves, run_routed_fleet
 from repro.resilience import RetryPolicy, SweepStats, faults, resilient_map
 from repro.sim.server import run_trace
 from repro.sim.trace import Trace
 from repro.workloads.apps import APPS
 
 #: Which PR this bench file tracks (bump per perf-relevant PR).
-PR_NUMBER = 9
+PR_NUMBER = 10
 
 #: Seed-measured reference numbers for the same workloads, recorded on
 #: the machine that produced BENCH_PR1.json before the PR 1 fast paths
@@ -177,6 +186,17 @@ PR7_BASELINE = {
     "regenerate_s": 7.254527476000476,
 }
 
+#: PR 9's recorded numbers (BENCH_PR9.json). PR 10's lever is scale,
+#: not single-run speed: the sharded fleet layer runs beside the hot
+#: paths (``rubik_run``/``load_sweep``/``regenerate`` should hold
+#: steady) and the new ``fleet`` section tracks cluster-scenario
+#: throughput in servers per second.
+PR9_BASELINE = {
+    "rubik_run_s": 0.0201195360004931,
+    "load_sweep_s": 0.7748254660000384,
+    "regenerate_s": 6.8051143849988875,
+}
+
 #: Events-per-request ceiling for the Rubik run: one arrival + one
 #: completion per request and nothing else (DVFS transitions no longer
 #: consume simulator events). The perf_smoke guard fails if event churn
@@ -196,6 +216,9 @@ FULL = {
     "regen_requests": 800,
     "resilience_requests": 400,
     "snapshot_iters": 300,
+    "fleet_servers": (500, 2000),
+    "fleet_epochs": 6,
+    "fleet_rpc": 400,
 }
 QUICK = {
     "table_reps": 5,
@@ -207,6 +230,9 @@ QUICK = {
     "regen_requests": 600,
     "resilience_requests": 200,
     "snapshot_iters": 60,
+    "fleet_servers": (60, 150),
+    "fleet_epochs": 3,
+    "fleet_rpc": 100,
 }
 
 
@@ -289,6 +315,7 @@ def bench_controller_events(num_requests: int, load: float,
         out["speedup_vs_pr5"] = PR5_BASELINE["rubik_run_s"] / wall
         out["speedup_vs_pr6"] = PR6_BASELINE["rubik_run_s"] / wall
         out["speedup_vs_pr7"] = PR7_BASELINE["rubik_run_s"] / wall
+        out["speedup_vs_pr9"] = PR9_BASELINE["rubik_run_s"] / wall
         out["events_vs_pr1"] = (result.events_processed
                                 / PR1_BASELINE["rubik_run_events"])
     return out
@@ -311,6 +338,7 @@ def bench_load_sweep(loads, num_requests: int) -> Dict[str, float]:
         out["speedup_vs_pr5"] = PR5_BASELINE["load_sweep_s"] / wall
         out["speedup_vs_pr6"] = PR6_BASELINE["load_sweep_s"] / wall
         out["speedup_vs_pr7"] = PR7_BASELINE["load_sweep_s"] / wall
+        out["speedup_vs_pr9"] = PR9_BASELINE["load_sweep_s"] / wall
     return out
 
 
@@ -352,6 +380,7 @@ def bench_regenerate(experiments, num_requests: int) -> Dict[str, float]:
         out["speedup_vs_pr5"] = PR5_BASELINE["regenerate_s"] / wall
         out["speedup_vs_pr6"] = PR6_BASELINE["regenerate_s"] / wall
         out["speedup_vs_pr7"] = PR7_BASELINE["regenerate_s"] / wall
+        out["speedup_vs_pr9"] = PR9_BASELINE["regenerate_s"] / wall
     return out
 
 
@@ -434,6 +463,72 @@ def bench_resilience(num_requests: int) -> Dict:
         "worker_losses": stats.worker_losses,
         "pool_rebuilds": stats.pool_rebuilds,
         "degraded_serial": stats.degraded_serial,
+    }
+
+
+def bench_fleet(sizes, num_epochs: int, requests_per_core: int) -> Dict:
+    """The PR 10 sharded fleet: cluster-scenario throughput + invariance.
+
+    Calibration (the per-(app, anchor-load) simulation cells behind the
+    power curves) is timed once against a throwaway artifact store;
+    every scenario run afterwards replays those anchors from disk, so
+    the per-size walls measure what the layer claims is cheap —
+    placement draws, routing epochs, and vectorized integration — and
+    the ``servers_per_s`` figures scale with fleet size instead of
+    being flat-dominated by the fixed simulation cost. The shard A/B at
+    the largest size reruns the scenario with 2 shards (different cell
+    fingerprints, so both sides compute their shards live) and asserts
+    the result bitwise-identical to the 1-shard reference
+    (invariant 21); ``perf_smoke`` pins that flag.
+    """
+    sizes = tuple(sizes)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = artifacts.ArtifactStore(Path(tmp))
+        with artifacts.activate(store):
+            t0 = time.perf_counter()
+            build_power_curves(BENCH_SEED, requests_per_core)
+            calibration_wall = time.perf_counter() - t0
+            anchor_cells = store.stats()["puts"]
+
+            scale: Dict[str, Dict] = {}
+            results = {}
+            for n in sizes:
+                t0 = time.perf_counter()
+                result = run_routed_fleet(
+                    num_servers=n, seed=BENCH_SEED,
+                    num_epochs=num_epochs, num_shards=1,
+                    requests_per_core=requests_per_core)
+                wall = time.perf_counter() - t0
+                results[n] = result
+                scale[str(n)] = {
+                    "wall_s": wall,
+                    "servers_per_s": n / wall,
+                    "energy_savings_frac": result.energy_savings_frac,
+                    "overloaded_servers": result.overloaded_servers,
+                    "baseline_shed_load": result.baseline_shed_load,
+                    "routed_shed_load": result.routed_shed_load,
+                }
+
+            largest = max(sizes)
+            t0 = time.perf_counter()
+            sharded = run_routed_fleet(
+                num_servers=largest, seed=BENCH_SEED,
+                num_epochs=num_epochs, num_shards=2,
+                requests_per_core=requests_per_core)
+            sharded_wall = time.perf_counter() - t0
+
+    return {
+        "num_epochs": num_epochs,
+        "requests_per_core": requests_per_core,
+        "calibration_wall_s": calibration_wall,
+        "anchor_cells": anchor_cells,
+        "scale": scale,
+        "shard_scaling": {
+            "servers": largest,
+            "one_shard_wall_s": scale[str(largest)]["wall_s"],
+            "two_shard_wall_s": sharded_wall,
+            "identical": sharded.equals(results[largest]),
+        },
     }
 
 
@@ -691,6 +786,7 @@ def run_benchmarks(quick: bool = False) -> Dict:
         "pr5_baseline": PR5_BASELINE,
         "pr6_baseline": PR6_BASELINE,
         "pr7_baseline": PR7_BASELINE,
+        "pr9_baseline": PR9_BASELINE,
         "table_build": bench_table_build(cfg["table_reps"]),
         "controller_events": bench_controller_events(
             cfg["run_requests"], cfg["run_load"]),
@@ -701,6 +797,8 @@ def run_benchmarks(quick: bool = False) -> Dict:
         "regenerate_cached": bench_regenerate_cached(
             cfg["regen_experiments"], cfg["regen_requests"]),
         "resilience": bench_resilience(cfg["resilience_requests"]),
+        "fleet": bench_fleet(cfg["fleet_servers"], cfg["fleet_epochs"],
+                             cfg["fleet_rpc"]),
         "refresh_churn": bench_refresh_churn(
             cfg["run_requests"], cfg["run_load"], cfg["snapshot_iters"]),
         "decision_kernel": bench_decision_kernel(

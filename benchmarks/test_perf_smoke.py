@@ -211,6 +211,32 @@ def test_quick_bench_emits_trajectory_point(tmp_path):
         f"resilient dispatch cost {res['overhead_vs_baseline']:.2f}x "
         "the plain sweep on the fault-free path")
 
+    # Fleet guards (PR 10). Calibration must have persisted one anchor
+    # cell per (app, anchor load) into the section's throwaway store;
+    # every tracked size must report a positive wall and throughput; the
+    # router must never shed more than the shed-on-overflow baseline;
+    # and the shard-scaling A/B must be bitwise-identical — invariant
+    # 21 is the layer's contract, so a False here means the shard
+    # partition leaked into the numbers.
+    fleet = results["fleet"]
+    from repro.fleet.routing import ANCHOR_LOADS
+    from repro.workloads.apps import app_names
+    assert fleet["anchor_cells"] == len(ANCHOR_LOADS) * len(app_names())
+    assert fleet["calibration_wall_s"] > 0
+    assert list(fleet["scale"]) == \
+        [str(n) for n in run_bench.QUICK["fleet_servers"]]
+    for entry in fleet["scale"].values():
+        assert entry["wall_s"] > 0
+        assert entry["servers_per_s"] > 0
+        assert entry["routed_shed_load"] <= entry["baseline_shed_load"]
+    shard = fleet["shard_scaling"]
+    assert shard["servers"] == max(run_bench.QUICK["fleet_servers"])
+    assert shard["one_shard_wall_s"] > 0
+    assert shard["two_shard_wall_s"] > 0
+    assert shard["identical"] is True, (
+        "2-shard routed fleet diverged bitwise from the 1-shard "
+        "reference (invariant 21)")
+
     # The seed reference the trajectory is measured against is recorded
     # alongside every point.
     assert results["seed_baseline"] == run_bench.SEED_BASELINE

@@ -126,22 +126,111 @@ class DatacenterComparison:
         return 1.0 - self.colocated.total_servers / self.segregated.total_servers
 
 
+def datacenter_defaults(
+    num_mixes: Optional[int] = None,
+    requests_per_core: Optional[int] = None,
+) -> Tuple[int, int]:
+    """Resolve ``(num_mixes, requests_per_core)`` from ``CONFIGS["fig16"]``.
+
+    The single source of truth shared by :func:`compare_datacenters`,
+    :func:`reference_comparison` and ``run_fig16`` — direct library
+    calls with default arguments reproduce the driver's cells exactly
+    (they used to disagree: 4 mixes / 1200 requests here vs the
+    driver's 3 / 800).
+    """
+    from repro.experiments.configs import CONFIGS  # leaf module; no cycle
+
+    config = CONFIGS["fig16"]
+    if num_mixes is None:
+        num_mixes = config.extra("num_mixes")
+    if requests_per_core is None:
+        requests_per_core = config.extra("default_requests_per_core")
+    return int(num_mixes), int(requests_per_core)
+
+
 def compare_datacenters(
     lc_load: float,
     seed: int = 21,
-    num_mixes: int = 4,
-    requests_per_core: int = 1200,
+    num_mixes: Optional[int] = None,
+    requests_per_core: Optional[int] = None,
     system: SystemPowerModel = DEFAULT_SYSTEM_POWER,
     core_power: CorePowerModel = DEFAULT_CORE_POWER,
+    num_shards: int = 1,
+    processes: Optional[int] = None,
 ) -> DatacenterComparison:
     """Evaluate both datacenters at one LC load (one Fig. 16 x-point).
 
     ``num_mixes`` sub-samples the paper's 20 mixes to bound simulation
     time; each sampled mix is paired with every LC app, as in the paper's
-    interleaving.
+    interleaving. Defaults come from ``CONFIGS["fig16"]``
+    (:func:`datacenter_defaults`), so a default call reproduces the
+    fig16 driver's cells.
+
+    The per-server work runs on the sharded fleet layer
+    (:func:`repro.fleet.run_datacenter_fleet` — ``num_shards`` slices
+    fan out over the shared pool/artifact store) and aggregates
+    bitwise-identically to :func:`reference_comparison`, the original
+    inline loop kept as the small-fleet oracle; the equivalence suite
+    pins the two paths against each other. Non-default power models
+    take the oracle path directly (fleet cells are fingerprinted on
+    scalar coordinates only).
+    """
+    num_mixes, requests_per_core = datacenter_defaults(
+        num_mixes, requests_per_core)
+    if system is not DEFAULT_SYSTEM_POWER \
+            or core_power is not DEFAULT_CORE_POWER:
+        return reference_comparison(
+            lc_load, seed=seed, num_mixes=num_mixes,
+            requests_per_core=requests_per_core,
+            system=system, core_power=core_power)
+    from repro.fleet.shards import run_datacenter_fleet  # cycle-free import
+
+    state = run_datacenter_fleet(
+        lc_load, seed=seed, num_mixes=num_mixes,
+        requests_per_core=requests_per_core,
+        num_shards=num_shards, processes=processes)
+    mixes = generate_mixes(num_mixes=num_mixes, seed=0)
+    batch_powers = [batch_server_power(mix, system, core_power)
+                    for mix in mixes]
+    mean_batch_power = float(np.mean(batch_powers))
+    segregated = DatacenterPoint(
+        lc_load=lc_load,
+        lc_server_power_w=state.mean("seg_power_w"),
+        batch_server_power_w=mean_batch_power,
+        num_lc_servers=LC_SERVERS,
+        num_batch_servers=BATCH_SERVERS,
+    )
+    colocated = DatacenterPoint(
+        lc_load=lc_load,
+        lc_server_power_w=state.mean("coloc_power_w"),
+        batch_server_power_w=mean_batch_power,
+        num_lc_servers=LC_SERVERS,
+        num_batch_servers=BATCH_SERVERS * state.mean("batch_deficit"),
+    )
+    return DatacenterComparison(segregated=segregated, colocated=colocated)
+
+
+def reference_comparison(
+    lc_load: float,
+    seed: int = 21,
+    num_mixes: Optional[int] = None,
+    requests_per_core: Optional[int] = None,
+    system: SystemPowerModel = DEFAULT_SYSTEM_POWER,
+    core_power: CorePowerModel = DEFAULT_CORE_POWER,
+) -> DatacenterComparison:
+    """The small-fleet oracle: one inline loop, no sharding.
+
+    This is the original single-process implementation of
+    :func:`compare_datacenters`, kept verbatim as the reference the
+    fleet path is pinned against bitwise (tests/fleet). Per-server
+    values are pure functions of (app, mix, load, seed), so the fleet
+    layer reproduces this loop's float operations exactly — any
+    divergence is a fleet-layer bug, never tolerance.
     """
     from repro.experiments.common import latency_bound  # cycle-free import
 
+    num_mixes, requests_per_core = datacenter_defaults(
+        num_mixes, requests_per_core)
     mixes = generate_mixes(num_mixes=num_mixes, seed=0)
     apps = [APPS[name] for name in app_names()]
 

@@ -54,8 +54,16 @@ class ColocResult:
     interference_penalty_cycles: float
 
     def tail_latency(self, pct: float = 95.0) -> float:
+        """Tail latency over completed LC requests.
+
+        ``NaN`` when no LC request completed (an overloaded server):
+        at fleet scale one starved server must surface as a flagged
+        per-server value the NaN-aware aggregation counts
+        (:meth:`repro.fleet.state.FleetState.overloaded_count`), not
+        an exception that aborts the whole shard.
+        """
         if self.lc_response_times.size == 0:
-            raise ValueError("no completed LC requests")
+            return float("nan")
         return float(np.percentile(self.lc_response_times, pct))
 
     @property

@@ -124,4 +124,11 @@ CONFIGS: Dict[str, DriverConfig] = {cfg.name: cfg for cfg in (
     DriverConfig(
         "ablations", "Rubik design-choice ablations",
         extras=(("load", 0.4),)),
+    DriverConfig(
+        "fleet", "Fleet: sharded datacenter with power-aware routing",
+        size_knob="requests_per_core",
+        extras=(("num_servers", 2000), ("num_epochs", 6),
+                ("num_shards", 2), ("base_load", 0.35),
+                ("demand_sigma", 0.6),
+                ("default_requests_per_core", 400))),
 )}

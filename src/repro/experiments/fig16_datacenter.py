@@ -17,7 +17,11 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import render_table
-from repro.coloc.datacenter import DatacenterComparison, compare_datacenters
+from repro.coloc.datacenter import (
+    DatacenterComparison,
+    compare_datacenters,
+    datacenter_defaults,
+)
 from repro.experiments.common import run_cells
 from repro.experiments.configs import CONFIGS
 
@@ -33,7 +37,12 @@ class Fig16Result:
     comparisons: List[DatacenterComparison]
 
     def _norm(self) -> Tuple[float, float]:
-        ref = self.comparisons[-1].segregated  # segregated @ highest load
+        # Segregated datacenter at the *highest* load is the paper's
+        # normalization reference. Locate it by value: with a subset or
+        # unsorted ``loads`` argument, comparisons[-1] is not the
+        # highest-load point and would silently mis-normalize every
+        # column (the Fig6Result bug class).
+        ref = self.comparisons[self.loads.index(max(self.loads))].segregated
         return ref.total_power_w, ref.total_servers
 
     def table(self) -> str:
@@ -66,8 +75,8 @@ def _fig16_point(args: Tuple[float, int, int, int]) -> DatacenterComparison:
 
 def run_fig16(
     loads: Sequence[float] = LC_LOADS,
-    num_mixes: int = 3,
-    requests_per_core: int = 800,
+    num_mixes: Optional[int] = None,
+    requests_per_core: Optional[int] = None,
     seed: int = 21,
     processes: Optional[int] = None,
 ) -> Fig16Result:
@@ -76,7 +85,13 @@ def run_fig16(
     Load points fan out over the parallel sweep executor (serial
     fallback on one CPU; identical results either way), reusing the
     shared worker pool when one is active (regenerate-all CLI).
+    ``num_mixes``/``requests_per_core`` default from ``CONFIGS["fig16"]``
+    via :func:`repro.coloc.datacenter.datacenter_defaults`, the same
+    source :func:`~repro.coloc.datacenter.compare_datacenters` resolves
+    its defaults from — driver cells and direct library calls agree.
     """
+    num_mixes, requests_per_core = datacenter_defaults(
+        num_mixes, requests_per_core)
     comparisons = run_cells(
         "fig16", _fig16_point,
         [(load, seed, num_mixes, requests_per_core) for load in loads],
@@ -85,7 +100,8 @@ def run_fig16(
     return Fig16Result(tuple(loads), comparisons)
 
 
-def main(num_mixes: int = 3, requests_per_core: int = 800) -> str:
+def main(num_mixes: Optional[int] = None,
+         requests_per_core: Optional[int] = None) -> str:
     report = run_fig16(num_mixes=num_mixes,
                        requests_per_core=requests_per_core).table()
     print(report)

@@ -46,6 +46,7 @@ from repro.experiments import (
     fig12_system_power,
     fig15_coloc_tails,
     fig16_datacenter,
+    fleet_scenario,
     table1_correlations,
 )
 from repro.experiments.configs import CONFIGS, DriverConfig
@@ -121,6 +122,7 @@ _MAINS: Dict[str, Callable[..., str]] = {
     "fig16": fig16_datacenter.main,
     "table1": table1_correlations.main,
     "ablations": ablations.main,
+    "fleet": fleet_scenario.main,
 }
 
 EXPERIMENTS: Dict[str, ExperimentSpec] = {}

@@ -1,0 +1,55 @@
+"""Fleet-scale sharded datacenter simulation (docs/performance.md,
+Layer 9).
+
+Each shard owns a contiguous slice of servers held as struct-of-arrays
+numpy state (:class:`FleetState`), fans out as cells of the ``fleet``
+driver through :func:`repro.experiments.common.run_cells` (artifact
+caching + resilient execution for free), and synchronizes only at
+placement/routing epochs. All randomness derives from
+``(seed, shard_index)`` / ``(seed, server_index)`` via
+:mod:`repro.fleet.seeding` — never worker identity — so an N-shard
+fleet is bitwise-identical to the 1-shard reference.
+"""
+
+from repro.fleet.routing import (
+    ANCHOR_LOADS,
+    CAPACITY_CAP,
+    EPOCH_S,
+    PowerCurve,
+    RoutedFleetResult,
+    build_power_curves,
+    route_epoch,
+    run_routed_fleet,
+)
+from repro.fleet.seeding import (
+    server_rng,
+    server_seed,
+    shard_rng,
+    shard_seed,
+)
+from repro.fleet.shards import (
+    FLEET_DRIVER,
+    representative_fleet_size,
+    run_datacenter_fleet,
+)
+from repro.fleet.state import FleetState, shard_bounds
+
+__all__ = [
+    "ANCHOR_LOADS",
+    "CAPACITY_CAP",
+    "EPOCH_S",
+    "FLEET_DRIVER",
+    "FleetState",
+    "PowerCurve",
+    "RoutedFleetResult",
+    "build_power_curves",
+    "representative_fleet_size",
+    "route_epoch",
+    "run_datacenter_fleet",
+    "run_routed_fleet",
+    "server_rng",
+    "server_seed",
+    "shard_bounds",
+    "shard_rng",
+    "shard_seed",
+]

@@ -1,0 +1,64 @@
+"""Deterministic seed derivation for the fleet layer.
+
+The fleet's bitwise shard-invariance contract (docs/performance.md,
+Layer 9) hinges on one rule: **every random draw is keyed by logical
+coordinates, never by execution placement**. Shard-scoped draws derive
+from ``(seed, shard_index)`` and per-server draws from
+``(seed, server_index)`` where ``server_index`` is the server's
+*absolute* fleet position — so re-partitioning a fleet over 1, 2 or 4
+shards, or moving a shard to a different pool worker, reproduces the
+exact same streams. Worker identity (pid, pool slot, dispatch order)
+must never reach a seed.
+
+Derivation is SHA-256 based (the same construction as
+:func:`repro.resilience.faults.unit_interval`): ``hash()`` is salted
+per interpreter and ``seed + index`` arithmetic aliases across
+namespaces (``shard_seed(7, 1) == server_seed(6, 2)`` would couple
+streams that must be independent), so each namespace gets a distinct
+tag folded into the digest.
+
+This module is the **only** sanctioned constructor of fleet RNGs: the
+``determinism`` lint rule rejects any ``np.random.default_rng`` call
+elsewhere under ``repro/fleet/`` whose seed is not a
+``shard_seed``/``server_seed`` derivation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+_SHARD_TAG = "fleet.shard"
+_SERVER_TAG = "fleet.server"
+
+
+def _derive(tag: str, seed: int, index: int) -> int:
+    """A 63-bit seed from ``(tag, seed, index)`` — stable across
+    processes and interpreter runs, independent per tag."""
+    if index < 0:
+        raise ValueError(f"{tag} index must be >= 0, got {index}")
+    payload = repr((tag, int(seed), int(index))).encode()
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def shard_seed(seed: int, shard_index: int) -> int:
+    """Seed for shard-scoped draws of shard ``shard_index``."""
+    return _derive(_SHARD_TAG, seed, shard_index)
+
+
+def server_seed(seed: int, server_index: int) -> int:
+    """Seed for per-server draws of the server at *absolute* fleet
+    index ``server_index`` (shard-partition independent)."""
+    return _derive(_SERVER_TAG, seed, server_index)
+
+
+def shard_rng(seed: int, shard_index: int) -> np.random.Generator:
+    """The sanctioned RNG for shard-scoped draws."""
+    return np.random.default_rng(shard_seed(seed, shard_index))
+
+
+def server_rng(seed: int, server_index: int) -> np.random.Generator:
+    """The sanctioned RNG for per-server draws (absolute index)."""
+    return np.random.default_rng(server_seed(seed, server_index))

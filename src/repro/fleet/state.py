@@ -1,0 +1,144 @@
+"""Struct-of-arrays per-server fleet state.
+
+A :class:`FleetState` holds one contiguous slice of the fleet as flat
+numpy arrays — one entry per server, one array per attribute — the same
+layout the PR 1 controller rewrite used for per-core state. Shards
+compute their slice independently and the parent reassembles the fleet
+with :meth:`FleetState.concat`; because every array is ordered by
+absolute server index, the concatenation of N shard slices is bitwise
+identical to the 1-shard reference (docs/performance.md invariant 21).
+
+``lc_tail_s`` is NaN-able: an overloaded server that completed zero LC
+requests reports ``NaN`` (see :meth:`repro.coloc.server.ColocResult.
+tail_latency`) rather than aborting its shard, and the aggregation
+helpers here treat NaN as "overloaded", never as data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: (field name, dtype) for every per-server array, in declaration order.
+FIELDS: Tuple[Tuple[str, str], ...] = (
+    ("load", "f8"),           # offered LC load
+    ("app_idx", "i4"),        # index into repro.workloads.apps.app_names()
+    ("mix_idx", "i4"),        # batch-mix index (-1: no colocated mix)
+    ("scheme_idx", "i4"),     # index into COLOC_SCHEME_NAMES (-1: n/a)
+    ("freq_hz", "f8"),        # tuned static LC frequency
+    ("seg_power_w", "f8"),    # segregated-server power
+    ("coloc_power_w", "f8"),  # colocated-server power
+    ("batch_deficit", "f8"),  # fraction of a batch server still needed
+    ("lc_tail_s", "f8"),      # 95th-pct LC latency; NaN = overloaded
+)
+
+
+@dataclasses.dataclass
+class FleetState:
+    """One contiguous slice of per-server fleet state (SoA layout)."""
+
+    load: np.ndarray
+    app_idx: np.ndarray
+    mix_idx: np.ndarray
+    scheme_idx: np.ndarray
+    freq_hz: np.ndarray
+    seg_power_w: np.ndarray
+    coloc_power_w: np.ndarray
+    batch_deficit: np.ndarray
+    lc_tail_s: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.load.shape[0]
+        for name, _ in FIELDS:
+            arr = getattr(self, name)
+            if arr.ndim != 1 or arr.shape[0] != n:
+                raise ValueError(
+                    f"FleetState.{name}: expected shape ({n},), "
+                    f"got {arr.shape}")
+
+    @property
+    def num_servers(self) -> int:
+        return int(self.load.shape[0])
+
+    @classmethod
+    def empty(cls, num_servers: int) -> "FleetState":
+        """An all-zero slice for ``num_servers`` servers (indices -1,
+        tails NaN, so an unfilled entry is visibly unfilled)."""
+        if num_servers < 0:
+            raise ValueError(f"num_servers must be >= 0, got {num_servers}")
+        arrays = {}
+        for name, dtype in FIELDS:
+            arr = np.zeros(num_servers, dtype=dtype)
+            if name in ("app_idx", "mix_idx", "scheme_idx"):
+                arr -= 1
+            elif name == "lc_tail_s":
+                arr += np.nan
+            arrays[name] = arr
+        return cls(**arrays)
+
+    @classmethod
+    def concat(cls, parts: Sequence["FleetState"]) -> "FleetState":
+        """Reassemble shard slices, in shard order, into one fleet."""
+        if not parts:
+            return cls.empty(0)
+        return cls(**{
+            name: np.concatenate([getattr(p, name) for p in parts])
+            for name, _ in FIELDS})
+
+    def slice(self, lo: int, hi: int) -> "FleetState":
+        """The ``[lo, hi)`` sub-slice (copies, so shards stay disjoint)."""
+        return FleetState(**{
+            name: getattr(self, name)[lo:hi].copy() for name, _ in FIELDS})
+
+    # -- equality / aggregation -----------------------------------------
+    def equals(self, other: "FleetState") -> bool:
+        """Bitwise equality of every array (NaN == NaN, as the
+        shard-invariance suite requires)."""
+        return all(
+            np.array_equal(getattr(self, name), getattr(other, name),
+                           equal_nan=(dtype == "f8"))
+            for name, dtype in FIELDS)
+
+    def mean(self, field: str) -> float:
+        """Plain mean of one array — the small-fleet oracle's exact
+        aggregation (``float(np.mean(...))``)."""
+        return float(np.mean(getattr(self, field)))
+
+    def nanmean(self, field: str) -> float:
+        """NaN-ignoring mean (overloaded servers carry NaN tails);
+        NaN itself when every entry is NaN."""
+        arr = getattr(self, field)
+        if not np.any(np.isfinite(arr)):
+            return float("nan")
+        return float(np.nanmean(arr))
+
+    def overloaded_count(self) -> int:
+        """Servers whose LC tail is NaN (zero completed LC requests)."""
+        return int(np.count_nonzero(np.isnan(self.lc_tail_s)))
+
+
+def shard_bounds(num_servers: int, num_shards: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` server ranges, one per shard.
+
+    Balanced to within one server, in absolute-index order; shard count
+    is clamped to the server count so no shard is empty. The partition
+    is a pure function of ``(num_servers, num_shards)`` — placement
+    never affects which servers a shard owns.
+    """
+    if num_servers < 0:
+        raise ValueError(f"num_servers must be >= 0, got {num_servers}")
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if num_servers == 0:
+        return []
+    num_shards = min(num_shards, num_servers)
+    base, rem = divmod(num_servers, num_shards)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for k in range(num_shards):
+        hi = lo + base + (1 if k < rem else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds

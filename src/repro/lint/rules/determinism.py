@@ -17,6 +17,17 @@ fingerprints:
 * iterating a ``set``/``frozenset`` constructed inline — iteration
   order depends on hash seeding.
 
+Fleet scope (``repro/fleet/``): the shard-invariance contract
+(docs/performance.md invariant 22) additionally requires every RNG to
+derive from logical coordinates — ``(seed, shard_index)`` or
+``(seed, server_index)`` — so ``np.random.default_rng`` there must be
+seeded by a :func:`repro.fleet.seeding.shard_seed`/``server_seed``
+derivation (or code must use the ``shard_rng``/``server_rng``
+constructors). ``seeding.py`` itself, the owner module, is exempt. A
+literal seed would be deterministic but placement-coupled the moment a
+shard count or worker id leaks into it; requiring the derivation calls
+makes the provenance auditable.
+
 Metadata-only uses (an artifact header's creation timestamp, build-time
 diagnostics) are legitimate: suppress with a pragma naming the reason.
 """
@@ -58,6 +69,31 @@ _NP_LEGACY_RNG = frozenset({
 #: Directory-order producers that must be wrapped in sorted(...).
 _FS_ORDER_CALLS = frozenset({"os.listdir", "os.scandir", "os.walk"})
 _FS_ORDER_METHODS = frozenset({"iterdir", "glob", "rglob", "scandir"})
+
+#: Sanctioned seed-derivation functions for fleet-scoped RNGs.
+_FLEET_SEED_FNS = frozenset({"shard_seed", "server_seed"})
+
+#: The one fleet module allowed to construct RNGs directly.
+_FLEET_SEED_OWNER = "seeding.py"
+
+
+def _in_fleet_scope(ctx: FileContext) -> bool:
+    """Whether the file is fleet library code (owner module exempt)."""
+    return "repro/fleet/" in ctx.posix \
+        and not ctx.posix.endswith("/" + _FLEET_SEED_OWNER)
+
+
+def _derives_fleet_seed(node: ast.Call) -> bool:
+    """Whether the ``default_rng`` call's seed argument is a
+    ``shard_seed``/``server_seed`` derivation."""
+    seed_args = list(node.args)
+    seed_args += [kw.value for kw in node.keywords if kw.arg == "seed"]
+    for arg in seed_args:
+        if isinstance(arg, ast.Call):
+            fn = dotted_name(arg.func)
+            if fn is not None and fn.split(".")[-1] in _FLEET_SEED_FNS:
+                return True
+    return False
 
 
 def _in_sorted(ctx: FileContext, node: ast.AST) -> bool:
@@ -131,6 +167,16 @@ class DeterminismRule(Rule):
                         ctx.path, node.lineno, self.id,
                         f"{dotted}() without a seed draws from OS "
                         "entropy; pass an explicit seed")
+                if leaf == "default_rng" and _in_fleet_scope(ctx) \
+                        and not _derives_fleet_seed(node):
+                    return Finding(
+                        ctx.path, node.lineno, self.id,
+                        f"{dotted}() in repro/fleet/ must derive its "
+                        "seed from logical coordinates via "
+                        "repro.fleet.seeding — shard_seed(seed, "
+                        "shard_index)/server_seed(seed, server_index), "
+                        "or the shard_rng/server_rng constructors — so "
+                        "shard invariance never couples to placement")
         if dotted in _FS_ORDER_CALLS and not _in_sorted(ctx, node):
             return Finding(
                 ctx.path, node.lineno, self.id,

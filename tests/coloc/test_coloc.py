@@ -127,6 +127,17 @@ class TestColocatedServer:
         with pytest.raises(ValueError):
             run_colocated_server(MASSTREE, 0.6, [], "RubikColoc", context)
 
+    def test_tail_latency_nan_when_no_lc_completions(self, coloc_runs):
+        # An overloaded server that completed zero LC requests flags
+        # itself with a NaN tail (the fleet aggregation counts it); it
+        # must not raise and abort a whole shard.
+        import dataclasses
+
+        _, runs = coloc_runs
+        starved = dataclasses.replace(
+            runs["RubikColoc"], lc_response_times=np.array([]))
+        assert math.isnan(starved.tail_latency())
+
 
 class TestDatacenterModel:
     def test_batch_server_power_positive(self):

@@ -193,3 +193,56 @@ class TestFig16:
             res.comparisons[1].server_reduction
         assert res.comparisons[0].power_reduction > 0.1
         assert "Fig. 16" in res.table()
+
+    @staticmethod
+    def _comparison(load, power):
+        from repro.coloc.datacenter import (
+            DatacenterComparison,
+            DatacenterPoint,
+        )
+
+        def point(scale):
+            return DatacenterPoint(
+                lc_load=load, lc_server_power_w=power * scale,
+                batch_server_power_w=60.0, num_lc_servers=1000,
+                num_batch_servers=1000)
+
+        return DatacenterComparison(segregated=point(1.0),
+                                    colocated=point(0.8))
+
+    def test_norm_uses_max_load_not_last_position(self):
+        # Regression (same bug class as the PR 3 Fig6Result fix): with
+        # unsorted loads the normalization reference used to be
+        # whatever comparison sat last, silently rescaling every
+        # column. It must be the highest-load segregated point.
+        high = self._comparison(0.6, 90.0)
+        low = self._comparison(0.1, 40.0)
+        unsorted = fig16_datacenter.Fig16Result(
+            loads=(0.6, 0.1), comparisons=[high, low])
+        assert unsorted._norm() == (high.segregated.total_power_w,
+                                    high.segregated.total_servers)
+        # Sorted subset: same reference, independent of position.
+        subset = fig16_datacenter.Fig16Result(
+            loads=(0.1, 0.6), comparisons=[low, high])
+        assert subset._norm() == unsorted._norm()
+
+    def test_run_fig16_defaults_match_driver_config(self, monkeypatch):
+        # run_fig16's cells and direct compare_datacenters calls must
+        # both resolve (num_mixes, requests_per_core) from
+        # CONFIGS["fig16"] (they used to disagree: 3/800 vs 4/1200).
+        from repro.experiments.configs import CONFIGS
+
+        captured = {}
+
+        def fake_run_cells(driver, fn, items, processes=None):
+            captured["items"] = items
+            return [self._comparison(load, 50.0)
+                    for load, *_ in items]
+
+        monkeypatch.setattr(fig16_datacenter, "run_cells",
+                            fake_run_cells)
+        fig16_datacenter.run_fig16(loads=(0.1, 0.2))
+        config = CONFIGS["fig16"]
+        for load, seed, num_mixes, rpc in captured["items"]:
+            assert num_mixes == config.extra("num_mixes")
+            assert rpc == config.extra("default_requests_per_core")

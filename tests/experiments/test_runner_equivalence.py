@@ -193,6 +193,7 @@ class TestRunnerRegistry:
         assert runner.experiment_names() == [
             "fig01", "fig02", "fig06", "fig07_08", "fig09", "fig10",
             "fig11", "fig12", "fig15", "fig16", "table1", "ablations",
+            "fleet",
         ]
 
     def test_aliases_resolve_to_same_spec(self):

@@ -1,0 +1,36 @@
+"""Fleet-test fixtures: clean fault plane + per-test artifact store.
+
+The fleet chaos tests drive the artifact store and the fault plane the
+same way tests/resilience does; the invariance tests must never see an
+ambient store/policy/plan, or a cached cell could mask a divergence.
+Same contract as tests/resilience/conftest.py.
+"""
+
+import pytest
+
+from repro.experiments import artifacts
+from repro.resilience import execution, faults
+
+
+@pytest.fixture(autouse=True)
+def fresh_fault_plane(monkeypatch):
+    monkeypatch.delenv(faults.FAULT_PLAN_ENV, raising=False)
+    monkeypatch.setattr(faults, "_active_plan", None)
+    monkeypatch.setattr(faults, "_counts", {})
+    monkeypatch.setattr(faults, "_fires", {})
+    monkeypatch.setattr(faults, "_env_cache", {})
+    monkeypatch.setattr(faults, "_warned_env_values", set())
+    monkeypatch.setattr(execution, "_active_policy", None)
+    yield
+
+
+@pytest.fixture(autouse=True)
+def isolated_artifact_store(tmp_path, monkeypatch):
+    root = tmp_path / "artifacts"
+    monkeypatch.setenv(artifacts.ARTIFACT_DIR_ENV, str(root))
+    monkeypatch.delenv(artifacts.ARTIFACT_CACHE_ENV, raising=False)
+    monkeypatch.setattr(artifacts, "_warned_env_values", set())
+    monkeypatch.setattr(artifacts, "_warned_corrupt_paths", set())
+    monkeypatch.setattr(artifacts, "_default_stores", {})
+    monkeypatch.setattr(artifacts, "_active_store", None)
+    yield root

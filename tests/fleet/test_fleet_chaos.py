@@ -1,0 +1,63 @@
+"""Fleet chaos test (ISSUE 10): a worker crash mid-fleet-sweep kills
+one shard terminally; the surviving shards are already persisted, and a
+fault-free resume recomputes *only* the lost shard, bitwise-identical
+to a run that never saw a fault."""
+
+import pytest
+
+from repro.experiments import artifacts
+from repro.fleet import run_datacenter_fleet
+from repro.resilience import (
+    FaultPlan,
+    RetryPolicy,
+    SweepFailure,
+    faults,
+    use_policy,
+)
+
+MIXES = 2          # 10 representative servers over 4 shard cells
+SHARDS = 4
+RPC = 150
+LOAD = 0.3
+
+#: Shard cell 1 loses its worker on its only attempt (max_retries=0
+#: makes the crash terminal, forcing the resume-from-store workflow).
+PLAN = FaultPlan.parse("seed=7;worker.crash@1:delay=0.1")
+POLICY = RetryPolicy(max_retries=0, timeout_s=5.0)
+
+
+def _run_fleet(processes=2):
+    return run_datacenter_fleet(LOAD, num_mixes=MIXES,
+                                requests_per_core=RPC,
+                                num_shards=SHARDS, processes=processes)
+
+
+class TestFleetChaos:
+    def test_crash_then_resume_recomputes_only_lost_shard(self):
+        # Fault-free baseline, no store: the ground truth.
+        baseline = _run_fleet()
+
+        store = artifacts.default_store()
+        with artifacts.activate(), use_policy(POLICY):
+            with faults.activate(PLAN):
+                with pytest.raises(SweepFailure) as excinfo:
+                    _run_fleet()
+
+            # Exactly the crashed shard failed, as a worker loss.
+            failure = excinfo.value
+            assert failure.driver == "fleet" and failure.total == SHARDS
+            assert [f.index for f in failure.failures] == [1]
+            assert failure.failures[0].kind == "worker-lost"
+
+            # The surviving shards were persisted before the raise.
+            assert store.cached_cells("fleet") == SHARDS - 1
+            mid = store.stats()
+
+            # Resume, fault-free: only the lost shard recomputes.
+            resumed = _run_fleet()
+            after = store.stats()
+            assert after["hits"] - mid["hits"] == SHARDS - 1
+            assert after["misses"] - mid["misses"] == 1
+            assert store.cached_cells("fleet") == SHARDS
+
+        assert resumed.equals(baseline)

@@ -1,0 +1,100 @@
+"""Shard-count invariance suite (docs/performance.md invariants 21/22).
+
+The fleet contract: an N-shard run is bitwise-identical to the 1-shard
+reference, for any N, serial or pooled — the same way serial-vs-pool is
+pinned for every driver. Small sweep sizes keep this tier-1."""
+
+import pytest
+
+from repro.coloc.datacenter import (
+    compare_datacenters,
+    datacenter_defaults,
+    reference_comparison,
+)
+from repro.experiments.configs import CONFIGS
+from repro.fleet import run_datacenter_fleet, run_routed_fleet
+
+MIXES = 1
+RPC = 300
+LOAD = 0.3
+
+ROUTED = dict(num_servers=30, seed=21, num_epochs=3,
+              requests_per_core=150)
+
+
+class TestDatacenterFleetInvariance:
+    def test_fleet_matches_small_fleet_oracle_bitwise(self):
+        # The refactor's pin: the sharded path reproduces the original
+        # inline loop exactly — equality, not tolerance.
+        oracle = reference_comparison(LOAD, num_mixes=MIXES,
+                                      requests_per_core=RPC)
+        fleet = compare_datacenters(LOAD, num_mixes=MIXES,
+                                    requests_per_core=RPC, num_shards=1)
+        assert fleet == oracle
+
+    @pytest.mark.parametrize("num_shards", [2, 4])
+    def test_shard_count_invariant(self, num_shards):
+        one = run_datacenter_fleet(LOAD, num_mixes=MIXES,
+                                   requests_per_core=RPC, num_shards=1)
+        many = run_datacenter_fleet(LOAD, num_mixes=MIXES,
+                                    requests_per_core=RPC,
+                                    num_shards=num_shards)
+        assert many.equals(one)
+
+    def test_serial_vs_pool_bitwise(self):
+        serial = run_datacenter_fleet(LOAD, num_mixes=MIXES,
+                                      requests_per_core=RPC,
+                                      num_shards=4, processes=1)
+        pooled = run_datacenter_fleet(LOAD, num_mixes=MIXES,
+                                      requests_per_core=RPC,
+                                      num_shards=4, processes=2)
+        assert pooled.equals(serial)
+
+    def test_state_layout_is_mix_major_app_minor(self):
+        state = run_datacenter_fleet(LOAD, num_mixes=2,
+                                     requests_per_core=150,
+                                     num_shards=3)
+        n_apps = int(state.app_idx.max()) + 1
+        for i in range(state.num_servers):
+            assert state.app_idx[i] == i % n_apps
+            assert state.mix_idx[i] == i // n_apps
+
+
+class TestRoutedFleetInvariance:
+    @pytest.mark.parametrize("num_shards", [2, 4])
+    def test_shard_count_invariant(self, num_shards):
+        one = run_routed_fleet(num_shards=1, **ROUTED)
+        many = run_routed_fleet(num_shards=num_shards, **ROUTED)
+        assert many.equals(one)
+
+    def test_serial_vs_pool_bitwise(self):
+        serial = run_routed_fleet(num_shards=2, processes=1, **ROUTED)
+        pooled = run_routed_fleet(num_shards=2, processes=2, **ROUTED)
+        assert pooled.equals(serial)
+
+    def test_seed_changes_the_fleet(self):
+        base = run_routed_fleet(num_shards=2, **ROUTED)
+        other = run_routed_fleet(num_shards=2,
+                                 **{**ROUTED, "seed": 22})
+        assert not base.state.equals(other.state)
+
+
+class TestDefaultsFromConfig:
+    def test_defaults_source_from_fig16_config(self):
+        config = CONFIGS["fig16"]
+        assert datacenter_defaults() == (
+            config.extra("num_mixes"),
+            config.extra("default_requests_per_core"))
+
+    def test_explicit_args_pass_through(self):
+        assert datacenter_defaults(2, 500) == (2, 500)
+
+    def test_compare_datacenters_defaults_are_config_sourced(self):
+        # The old hard-coded defaults (4 mixes / 1200 requests)
+        # disagreed with the fig16 driver's cells; both arguments now
+        # default to None and resolve through datacenter_defaults.
+        import inspect
+
+        sig = inspect.signature(compare_datacenters)
+        assert sig.parameters["num_mixes"].default is None
+        assert sig.parameters["requests_per_core"].default is None

@@ -1,0 +1,79 @@
+"""FleetState SoA layout and the shard partition helper."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.state import FIELDS, FleetState, shard_bounds
+
+
+def _filled(n, offset=0):
+    state = FleetState.empty(n)
+    for k, (name, _) in enumerate(FIELDS):
+        getattr(state, name)[:] = np.arange(n) + offset + k
+    return state
+
+
+class TestFleetState:
+    def test_empty_is_visibly_unfilled(self):
+        state = FleetState.empty(3)
+        assert state.num_servers == 3
+        assert np.all(state.app_idx == -1)
+        assert np.all(state.mix_idx == -1)
+        assert np.all(state.scheme_idx == -1)
+        assert np.all(np.isnan(state.lc_tail_s))
+        assert np.all(state.seg_power_w == 0.0)
+
+    def test_mismatched_field_lengths_rejected(self):
+        arrays = {name: np.zeros(3 if name != "load" else 4,
+                                 dtype=dtype)
+                  for name, dtype in FIELDS}
+        with pytest.raises(ValueError, match="expected shape"):
+            FleetState(**arrays)
+
+    def test_slice_concat_roundtrip(self):
+        fleet = _filled(10)
+        parts = [fleet.slice(lo, hi)
+                 for lo, hi in shard_bounds(10, 3)]
+        assert [p.num_servers for p in parts] == [4, 3, 3]
+        assert FleetState.concat(parts).equals(fleet)
+
+    def test_concat_empty_is_empty_fleet(self):
+        assert FleetState.concat([]).num_servers == 0
+
+    def test_equals_is_nan_aware_and_strict(self):
+        a, b = _filled(4), _filled(4)
+        a.lc_tail_s[2] = np.nan
+        b.lc_tail_s[2] = np.nan
+        assert a.equals(b)
+        b.seg_power_w[0] += 1e-12
+        assert not a.equals(b)
+
+    def test_nan_aggregation(self):
+        state = FleetState.empty(4)
+        state.lc_tail_s[:] = (1.0, np.nan, 3.0, np.nan)
+        assert state.nanmean("lc_tail_s") == 2.0
+        assert state.overloaded_count() == 2
+        state.lc_tail_s[:] = np.nan
+        assert np.isnan(state.nanmean("lc_tail_s"))
+        assert state.overloaded_count() == 4
+
+
+class TestShardBounds:
+    def test_partition_covers_contiguously(self):
+        for n, k in ((10, 3), (2000, 7), (5, 5), (1, 4)):
+            bounds = shard_bounds(n, k)
+            assert bounds[0][0] == 0 and bounds[-1][1] == n
+            for (_, hi), (lo2, _) in zip(bounds, bounds[1:]):
+                assert hi == lo2
+            sizes = [hi - lo for lo, hi in bounds]
+            assert max(sizes) - min(sizes) <= 1  # balanced
+            assert min(sizes) >= 1               # clamped, never empty
+
+    def test_zero_servers(self):
+        assert shard_bounds(0, 4) == []
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            shard_bounds(10, 0)
+        with pytest.raises(ValueError, match="num_servers"):
+            shard_bounds(-1, 2)

@@ -70,6 +70,44 @@ class TestDeterminism:
             RNG = np.random.default_rng(1234)
             """)
 
+    def test_fleet_literal_seed_fires(self):
+        # In repro/fleet/, a literal seed is deterministic but not
+        # provably placement-free: the seed must come from a
+        # shard_seed/server_seed derivation.
+        found = findings(self.RULE, """\
+            import numpy as np
+            RNG = np.random.default_rng(1234)
+            """, path="src/repro/fleet/routing.py")
+        assert found and "repro.fleet.seeding" in found[0].message
+
+    def test_fleet_derived_seed_silent(self):
+        assert not findings(self.RULE, """\
+            import numpy as np
+            from repro.fleet.seeding import server_seed, shard_seed
+
+            A = np.random.default_rng(shard_seed(21, 0))
+            B = np.random.default_rng(seed=server_seed(21, 5))
+            """, path="src/repro/fleet/shards.py")
+
+    def test_fleet_seeding_module_exempt(self):
+        # seeding.py is the owner module constructing RNGs from the
+        # derived integers; the scope check must not recurse into it.
+        assert not findings(self.RULE, """\
+            import numpy as np
+
+            def shard_rng(seed, shard_index):
+                return np.random.default_rng(shard_seed(seed, shard_index))
+
+            def raw(value):
+                return np.random.default_rng(value)
+            """, path="src/repro/fleet/seeding.py")
+
+    def test_non_fleet_literal_seed_still_silent(self):
+        assert not findings(self.RULE, """\
+            import numpy as np
+            RNG = np.random.default_rng(1234)
+            """, path="src/repro/coloc/batch.py")
+
     def test_unsorted_listdir_fires(self):
         assert findings(self.RULE, """\
             import os
